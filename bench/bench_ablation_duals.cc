@@ -1,0 +1,124 @@
+/// \file bench_ablation_duals.cc
+/// \brief Ablation of FedADMM's design choices (not a paper table, but the
+/// decomposition the paper argues for in Sections III-A/III-B):
+///   1. dual variables ON vs frozen at zero (freezing reduces the local
+///      problem to FedProx's) — measures what the "signed price vector"
+///      contributes;
+///   2. tracking server update vs plain averaging semantics (via η mode);
+///   3. warm start vs global restart (Fig. 8's knob) on the convex
+///      federation where the effect is exactly measurable.
+///
+/// Runs on the convex quadratic federation: distances to the closed-form
+/// optimum are exact, so the ablation is free of evaluation noise.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/optimality.h"
+#include "fl/quadratic_problem.h"
+
+namespace {
+
+using namespace fedadmm;
+using namespace fedadmm::bench;
+
+QuadraticSpec Spec() {
+  QuadraticSpec spec;
+  spec.num_clients = 16;
+  spec.dim = 16;
+  spec.heterogeneity = 2.5;
+  spec.seed = 123;
+  return spec;
+}
+
+struct Outcome {
+  double final_distance;
+  int rounds_to_01;  // rounds until ||θ − θ*|| <= 0.1
+};
+
+Outcome Run(const FedAdmmOptions& options, int rounds, uint64_t seed) {
+  QuadraticProblem problem(Spec());
+  FedAdmm algo(options);
+  UniformFractionSelector selector(problem.num_clients(), 0.25);
+  SimulationConfig config;
+  config.max_rounds = rounds;
+  config.seed = seed;
+  config.num_threads = 8;
+  Simulation sim(&problem, &algo, &selector, config);
+
+  Outcome out{1e9, -1};
+  sim.set_observer([&](const RoundRecord& r) {
+    const double dist = problem.DistanceToOptimum(sim.theta());
+    if (out.rounds_to_01 < 0 && dist <= 0.1) out.rounds_to_01 = r.round + 1;
+    out.final_distance = dist;
+  });
+  (void)sim.Run();
+  return out;
+}
+
+FedAdmmOptions Base() {
+  FedAdmmOptions options;
+  options.local.learning_rate = 0.04f;
+  options.local.batch_size = 0;
+  options.local.max_epochs = 8;
+  options.local.variable_epochs = true;
+  options.rho = StepSchedule(2.0);
+  options.eta_active_fraction = true;
+  return options;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader(
+      "Ablation — what each FedADMM design choice contributes (convex "
+      "federation, ||θ−θ*|| exact)");
+
+  const int rounds = RoundBudget(300, 800);
+  std::printf("%-40s %-14s %-16s\n", "variant", "rounds to 0.1",
+              "final distance");
+
+  struct Case {
+    const char* name;
+    FedAdmmOptions options;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"FedADMM (full)", Base()});
+  {
+    FedAdmmOptions o = Base();
+    o.freeze_duals = true;
+    cases.push_back({"duals frozen (≈FedProx local problem)", o});
+  }
+  {
+    FedAdmmOptions o = Base();
+    o.init = FedAdmmOptions::LocalInit::kGlobalModel;
+    cases.push_back({"global-restart init (Fig. 8 II)", o});
+  }
+  {
+    FedAdmmOptions o = Base();
+    o.eta_active_fraction = false;
+    o.eta = StepSchedule(1.0);
+    cases.push_back({"eta = 1 (vs |S|/m)", o});
+  }
+  {
+    FedAdmmOptions o = Base();
+    o.local.variable_epochs = false;
+    o.local.max_epochs = 1;
+    cases.push_back({"E = 1 (minimal local work)", o});
+  }
+
+  for (const Case& c : cases) {
+    const Outcome out = Run(c.options, rounds, 9);
+    std::printf("%-40s %-14s %-16.4f\n", c.name,
+                FormatRounds(out.rounds_to_01, rounds).c_str(),
+                out.final_distance);
+  }
+
+  std::printf(
+      "\nreading: freezing the duals leaves a persistent bias (FedProx-like\n"
+      "plateau above the optimum); live duals drive the distance toward 0.\n"
+      "η=1 trades stability margin for speed; E=1 converges but slowly\n"
+      "(Table IV's mechanism).\n");
+  PrintFootnote();
+  return 0;
+}

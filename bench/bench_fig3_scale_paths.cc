@@ -1,0 +1,75 @@
+/// \file bench_fig3_scale_paths.cc
+/// \brief Reproduces Fig. 3: convergence paths as the client population
+/// grows, with hyperparameters tuned once at the smallest scale and then
+/// held fixed. The paper's finding: FedADMM's performance gap over the
+/// baselines widens with the population (same data volume per round, more
+/// dual variables guiding it).
+///
+/// Prints accuracy series (one column per method) for each population so
+/// the curves can be plotted directly.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using namespace fedadmm;
+using namespace fedadmm::bench;
+
+std::vector<double> AccuracySeries(Scenario* scenario,
+                                   FederatedAlgorithm* algo, int rounds,
+                                   uint64_t seed) {
+  const History h = RunScenario(scenario, algo, 0.1, rounds, seed);
+  std::vector<double> acc;
+  for (const RoundRecord& r : h.records()) acc.push_back(r.test_accuracy);
+  return acc;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Fig. 3 — convergence paths vs system scale (fixed hyperparams)");
+
+  const int rounds = RoundBudget(30, 80);
+  const std::vector<int> populations =
+      LargeScale() ? std::vector<int>{100, 300, 1000}
+                   : std::vector<int>{50, 100, 200};
+
+  for (TaskKind task : {TaskKind::kFmnistLike, TaskKind::kCifarLike}) {
+    // Fig. 3 uses FMNIST non-IID and CIFAR IID.
+    const bool iid = task == TaskKind::kCifarLike;
+    for (int m : populations) {
+      Scenario scenario = MakeScenario(task, m, iid, 2);
+      std::printf("\n%s, %s, m=%d (accuracy per round)\n", TaskName(task),
+                  iid ? "IID" : "non-IID", m);
+      std::printf("%-6s %-9s %-9s %-9s %-9s\n", "round", "FedADMM", "FedAvg",
+                  "FedProx", "SCAFFOLD");
+      FedAdmm admm(BenchAdmmOptions());
+      FedAvg avg(BenchLocalSpec());
+      LocalTrainSpec var = BenchLocalSpec();
+      var.variable_epochs = true;
+      FedProx prox(var, 0.1f);
+      Scaffold scaffold(BenchLocalSpec());
+
+      const auto a = AccuracySeries(&scenario, &admm, rounds, 21);
+      const auto b = AccuracySeries(&scenario, &avg, rounds, 21);
+      const auto c = AccuracySeries(&scenario, &prox, rounds, 21);
+      const auto d = AccuracySeries(&scenario, &scaffold, rounds, 21);
+      const int step = std::max(1, rounds / 10);
+      for (int r = 0; r < rounds; r += step) {
+        std::printf("%-6d %-9.3f %-9.3f %-9.3f %-9.3f\n", r,
+                    a[static_cast<size_t>(r)], b[static_cast<size_t>(r)],
+                    c[static_cast<size_t>(r)], d[static_cast<size_t>(r)]);
+      }
+      std::printf("final  %-9.3f %-9.3f %-9.3f %-9.3f\n", a.back(), b.back(),
+                  c.back(), d.back());
+    }
+  }
+
+  std::printf(
+      "\npaper shape: all methods slow down as m grows (same per-round data\n"
+      "volume spread thinner), and FedADMM's lead widens with m.\n");
+  PrintFootnote();
+  return 0;
+}

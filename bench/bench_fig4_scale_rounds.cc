@@ -1,0 +1,69 @@
+/// \file bench_fig4_scale_rounds.cc
+/// \brief Reproduces Fig. 4: rounds to a prescribed accuracy as the client
+/// population grows (the reversed data-distribution settings of Fig. 3),
+/// along with FedADMM's reduction over the best baseline at each scale.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using namespace fedadmm;
+using namespace fedadmm::bench;
+
+int RoundsFor(Scenario* scenario, FederatedAlgorithm* algo, int budget,
+              double target, uint64_t seed) {
+  const History h =
+      RunScenario(scenario, algo, 0.1, budget, seed, target);
+  const int r = h.RoundsToAccuracy(target);
+  return r < 0 ? budget + 1 : r;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Fig. 4 — rounds to target accuracy vs client population");
+
+  const int budget = RoundBudget(40, 120);
+  const std::vector<int> populations =
+      LargeScale() ? std::vector<int>{100, 300, 1000}
+                   : std::vector<int>{50, 100, 200};
+
+  for (TaskKind task : {TaskKind::kFmnistLike, TaskKind::kCifarLike}) {
+    // Reversed settings relative to Fig. 3: FMNIST IID, CIFAR non-IID.
+    const bool iid = task == TaskKind::kFmnistLike;
+    const double target = TaskTarget(task);
+    std::printf("\n%s, %s, target %.0f%%\n", TaskName(task),
+                iid ? "IID" : "non-IID", target * 100);
+    std::printf("%-8s %-9s %-9s %-9s %-9s %-10s\n", "m", "FedADMM", "FedAvg",
+                "FedProx", "SCAFFOLD", "reduction");
+    for (int m : populations) {
+      Scenario scenario = MakeScenario(task, m, iid, 3);
+      FedAdmm admm(BenchAdmmOptions());
+      FedAvg avg(BenchLocalSpec());
+      LocalTrainSpec var = BenchLocalSpec();
+      var.variable_epochs = true;
+      FedProx prox(var, 0.1f);
+      Scaffold scaffold(BenchLocalSpec());
+
+      const int ra = RoundsFor(&scenario, &admm, budget, target, 31);
+      const int rb = RoundsFor(&scenario, &avg, budget, target, 31);
+      const int rc = RoundsFor(&scenario, &prox, budget, target, 31);
+      const int rd = RoundsFor(&scenario, &scaffold, budget, target, 31);
+      const int best_baseline = std::min({rb, rc, rd});
+      std::printf("%-8d %-9s %-9s %-9s %-9s %+.0f%%\n", m,
+                  FormatRounds(ra > budget ? -1 : ra, budget).c_str(),
+                  FormatRounds(rb > budget ? -1 : rb, budget).c_str(),
+                  FormatRounds(rc > budget ? -1 : rc, budget).c_str(),
+                  FormatRounds(rd > budget ? -1 : rd, budget).c_str(),
+                  (1.0 - static_cast<double>(ra) / best_baseline) * 100.0);
+    }
+  }
+
+  std::printf(
+      "\npaper shape: rounds grow with m for every method; FedADMM grows\n"
+      "slowest, so its reduction percentage increases with scale.\n");
+  PrintFootnote();
+  return 0;
+}

@@ -1,0 +1,95 @@
+/// \file bench_fig5_data_heterogeneity.cc
+/// \brief Reproduces Fig. 5: adaptability to heterogeneous data. FedADMM
+/// runs with ONE fixed configuration across the IID and non-IID settings,
+/// while each baseline is allowed to pick its best configuration per
+/// setting from a small grid — and FedADMM should remain competitive
+/// without any tuning (the paper: it outperforms all tuned baselines).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using namespace fedadmm;
+using namespace fedadmm::bench;
+
+int RoundsFor(Scenario* scenario, FederatedAlgorithm* algo, int budget,
+              double target, uint64_t seed) {
+  const History h = RunScenario(scenario, algo, 0.1, budget, seed, target);
+  const int r = h.RoundsToAccuracy(target);
+  return r < 0 ? budget + 1 : r;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader(
+      "Fig. 5 — adaptability to data heterogeneity (FedADMM untuned vs "
+      "baselines tuned per setting)");
+
+  const int budget = RoundBudget(40, 100);
+  const int clients = LargeScale() ? 200 : 100;
+
+  for (TaskKind task : {TaskKind::kFmnistLike, TaskKind::kCifarLike}) {
+    const double target = TaskTarget(task);
+    std::printf("\n%s, m=%d, target %.0f%% (rounds; lower is better)\n",
+                TaskName(task), clients, target * 100);
+    std::printf("%-10s %-22s %-22s\n", "split", "FedADMM (fixed config)",
+                "best tuned baseline");
+    for (bool iid : {true, false}) {
+      Scenario scenario = MakeScenario(task, clients, iid, 4);
+
+      // FedADMM: one fixed configuration for both settings.
+      FedAdmm admm(BenchAdmmOptions());
+      const int r_admm = RoundsFor(&scenario, &admm, budget, target, 41);
+
+      // Baselines: grid over learning rate (and rho for FedProx); keep the
+      // best result per setting.
+      int best_baseline = budget + 1;
+      std::string best_name = "none";
+      for (float lr : {0.05f, 0.1f, 0.2f}) {
+        {
+          FedAvg algo(BenchLocalSpec(10, 5, lr));
+          const int r = RoundsFor(&scenario, &algo, budget, target, 41);
+          if (r < best_baseline) {
+            best_baseline = r;
+            best_name = "FedAvg(lr=" + std::to_string(lr) + ")";
+          }
+        }
+        for (float rho : {0.01f, 0.1f, 1.0f}) {
+          LocalTrainSpec local = BenchLocalSpec(10, 5, lr);
+          local.variable_epochs = true;
+          FedProx algo(local, rho);
+          const int r = RoundsFor(&scenario, &algo, budget, target, 41);
+          if (r < best_baseline) {
+            best_baseline = r;
+            best_name = "FedProx(lr=" + std::to_string(lr) +
+                        ",rho=" + std::to_string(rho) + ")";
+          }
+        }
+        {
+          Scaffold algo(BenchLocalSpec(10, 5, lr));
+          const int r = RoundsFor(&scenario, &algo, budget, target, 41);
+          if (r < best_baseline) {
+            best_baseline = r;
+            best_name = "SCAFFOLD(lr=" + std::to_string(lr) + ")";
+          }
+        }
+      }
+      std::printf("%-10s %-22s %s -> %s\n", iid ? "IID" : "non-IID",
+                  FormatRounds(r_admm > budget ? -1 : r_admm, budget).c_str(),
+                  FormatRounds(best_baseline > budget ? -1 : best_baseline,
+                               budget)
+                      .c_str(),
+                  best_name.c_str());
+    }
+  }
+
+  std::printf(
+      "\npaper shape: FedADMM with a single fixed configuration is\n"
+      "competitive with (in the paper: beats) every per-setting tuned\n"
+      "baseline in both IID and non-IID regimes.\n");
+  PrintFootnote();
+  return 0;
+}

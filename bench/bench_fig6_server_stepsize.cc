@@ -1,0 +1,67 @@
+/// \file bench_fig6_server_stepsize.cc
+/// \brief Reproduces Fig. 6: effect of the server gathering step size η on
+/// FedADMM, in IID and non-IID settings, plus the mid-run step-size
+/// decrease experiment (η lowered after a switch round improves late-stage
+/// accuracy).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using namespace fedadmm;
+using namespace fedadmm::bench;
+
+std::vector<double> Series(Scenario* scenario, const StepSchedule& eta,
+                           int rounds, uint64_t seed) {
+  FedAdmmOptions options = BenchAdmmOptions();
+  options.eta = eta;
+  FedAdmm algo(options);
+  const History h = RunScenario(scenario, &algo, 0.1, rounds, seed);
+  std::vector<double> acc;
+  for (const RoundRecord& r : h.records()) acc.push_back(r.test_accuracy);
+  return acc;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Fig. 6 — FedADMM under different server step sizes η");
+
+  const int rounds = RoundBudget(36, 100);
+  const int switch_round = rounds * 3 / 5;  // paper switches at round 60/100
+  const int clients = 100;
+
+  for (bool iid : {true, false}) {
+    Scenario scenario = MakeScenario(TaskKind::kFmnistLike, clients, iid, 5);
+    std::printf("\n%s (accuracy per round)\n", iid ? "IID" : "non-IID");
+    const std::string decayed_label =
+        "1.0->0.5@" + std::to_string(switch_round);
+    std::printf("%-6s %-9s %-9s %-9s %-14s\n", "round", "eta=0.5", "eta=1.0",
+                "eta=1.5", decayed_label.c_str());
+
+    const auto a = Series(&scenario, StepSchedule(0.5), rounds, 51);
+    const auto b = Series(&scenario, StepSchedule(1.0), rounds, 51);
+    const auto c = Series(&scenario, StepSchedule(1.5), rounds, 51);
+    StepSchedule decayed(1.0);
+    decayed.AddSwitch(switch_round, 0.5);
+    const auto d = Series(&scenario, decayed, rounds, 51);
+
+    const int step = std::max(1, rounds / 12);
+    for (int r = 0; r < rounds; r += step) {
+      std::printf("%-6d %-9.3f %-9.3f %-9.3f %-14.3f\n", r,
+                  a[static_cast<size_t>(r)], b[static_cast<size_t>(r)],
+                  c[static_cast<size_t>(r)], d[static_cast<size_t>(r)]);
+    }
+    std::printf("final  %-9.3f %-9.3f %-9.3f %-14.3f\n", a.back(), b.back(),
+                c.back(), d.back());
+  }
+
+  std::printf(
+      "\npaper shape: under IID all η behave similarly (η=0.5 slightly\n"
+      "slower at the start); under non-IID η=1.5 stalls/oscillates while\n"
+      "η=1.0 is consistent, and decreasing η mid-run improves the tail.\n");
+  PrintFootnote();
+  return 0;
+}

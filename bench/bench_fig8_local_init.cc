@@ -1,0 +1,61 @@
+/// \file bench_fig8_local_init.cc
+/// \brief Reproduces Fig. 8: local training initialization strategies.
+/// Strategy I warm-starts local SGD from the stored client model w_i;
+/// strategy II restarts from the downloaded global model θ. The paper finds
+/// warm start (I) superior across server step sizes.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using namespace fedadmm;
+using namespace fedadmm::bench;
+
+std::vector<double> Series(Scenario* scenario,
+                           FedAdmmOptions::LocalInit init, double eta,
+                           int rounds, uint64_t seed) {
+  FedAdmmOptions options = BenchAdmmOptions();
+  options.init = init;
+  options.eta = StepSchedule(eta);
+  FedAdmm algo(options);
+  const History h = RunScenario(scenario, &algo, 0.1, rounds, seed);
+  std::vector<double> acc;
+  for (const RoundRecord& r : h.records()) acc.push_back(r.test_accuracy);
+  return acc;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader(
+      "Fig. 8 — local initialization: I = warm start from w_i, II = restart "
+      "from θ");
+
+  const int rounds = RoundBudget(36, 100);
+
+  for (double eta : {0.5, 1.0}) {
+    Scenario scenario =
+        MakeScenario(TaskKind::kFmnistLike, 100, /*iid=*/false, 7);
+    std::printf("\nη = %.1f, non-IID (accuracy per round)\n", eta);
+    std::printf("%-6s %-14s %-14s\n", "round", "I (warm w_i)",
+                "II (global θ)");
+    const auto warm = Series(
+        &scenario, FedAdmmOptions::LocalInit::kClientModel, eta, rounds, 71);
+    const auto cold = Series(
+        &scenario, FedAdmmOptions::LocalInit::kGlobalModel, eta, rounds, 71);
+    const int step = std::max(1, rounds / 12);
+    for (int r = 0; r < rounds; r += step) {
+      std::printf("%-6d %-14.3f %-14.3f\n", r, warm[static_cast<size_t>(r)],
+                  cold[static_cast<size_t>(r)]);
+    }
+    std::printf("final  %-14.3f %-14.3f\n", warm.back(), cold.back());
+  }
+
+  std::printf(
+      "\npaper shape: warm-starting from the stored client model (I) yields\n"
+      "superior accuracy trajectories across server step sizes.\n");
+  PrintFootnote();
+  return 0;
+}

@@ -1,0 +1,66 @@
+/// \file bench_fig9_dynamic_rho.cc
+/// \brief Reproduces Fig. 9: FedADMM under different proximal coefficients
+/// ρ, including a dynamic schedule — small ρ early (efficient incorporation
+/// of local data while the global model is uninformed), larger ρ later
+/// (shrinking client-server discrepancy).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using namespace fedadmm;
+using namespace fedadmm::bench;
+
+std::vector<double> Series(Scenario* scenario, const StepSchedule& rho,
+                           int rounds, uint64_t seed) {
+  FedAdmmOptions options = BenchAdmmOptions();
+  options.rho = rho;
+  FedAdmm algo(options);
+  const History h = RunScenario(scenario, &algo, 0.1, rounds, seed);
+  std::vector<double> acc;
+  for (const RoundRecord& r : h.records()) acc.push_back(r.test_accuracy);
+  return acc;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Fig. 9 — FedADMM under static and dynamic ρ schedules");
+
+  const int rounds = RoundBudget(36, 100);
+  const int switch_round = rounds / 2;
+  const float low = kBenchRho * 0.5f;
+  const float high = kBenchRho * 2.0f;
+
+  for (bool iid : {true, false}) {
+    Scenario scenario = MakeScenario(TaskKind::kFmnistLike, 100, iid, 9);
+    std::printf("\n%s (accuracy per round)\n", iid ? "IID" : "non-IID");
+    std::printf("%-6s %-12s %-12s %-16s\n", "round",
+                ("rho=" + std::to_string(low)).substr(0, 10).c_str(),
+                ("rho=" + std::to_string(high)).substr(0, 10).c_str(),
+                "low->high@switch");
+
+    const auto a = Series(&scenario, StepSchedule(low), rounds, 91);
+    const auto b = Series(&scenario, StepSchedule(high), rounds, 91);
+    StepSchedule dynamic(low);
+    dynamic.AddSwitch(switch_round, high);
+    const auto c = Series(&scenario, dynamic, rounds, 91);
+
+    const int step = std::max(1, rounds / 12);
+    for (int r = 0; r < rounds; r += step) {
+      std::printf("%-6d %-12.3f %-12.3f %-16.3f\n", r,
+                  a[static_cast<size_t>(r)], b[static_cast<size_t>(r)],
+                  c[static_cast<size_t>(r)]);
+    }
+    std::printf("final  %-12.3f %-12.3f %-16.3f\n", a.back(), b.back(),
+                c.back());
+  }
+
+  std::printf(
+      "\npaper shape: smaller ρ is faster early, larger ρ steadier late;\n"
+      "switching low->high mid-run combines both advantages.\n");
+  PrintFootnote();
+  return 0;
+}

@@ -1,0 +1,131 @@
+/// \file bench_micro_kernels.cc
+/// \brief google-benchmark microbenchmarks of the compute kernels backing
+/// the simulator: GEMM, im2col convolution, pooling, softmax, and the flat
+/// vector operations on the FL hot path.
+
+#include <benchmark/benchmark.h>
+
+#include "nn/model_zoo.h"
+#include "tensor/tensor_ops.h"
+#include "tensor/vec.h"
+#include "util/rng.h"
+
+namespace fedadmm {
+namespace {
+
+std::vector<float> RandomVec(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.Normal(0.0, 1.0));
+  return v;
+}
+
+void BM_MatMul(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const auto a = RandomVec(static_cast<size_t>(n * n), 1);
+  const auto b = RandomVec(static_cast<size_t>(n * n), 2);
+  std::vector<float> c(static_cast<size_t>(n * n));
+  for (auto _ : state) {
+    ops::MatMul(a.data(), b.data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Im2Col(benchmark::State& state) {
+  const int64_t hw = state.range(0);
+  const int64_t channels = 3, kernel = 5, pad = 2;
+  const auto img = RandomVec(static_cast<size_t>(channels * hw * hw), 3);
+  const int64_t out = ops::ConvOutDim(hw, kernel, 1, pad);
+  std::vector<float> cols(
+      static_cast<size_t>(channels * kernel * kernel * out * out));
+  for (auto _ : state) {
+    ops::Im2Col(img.data(), channels, hw, hw, kernel, kernel, 1, 1, pad, pad,
+                cols.data());
+    benchmark::DoNotOptimize(cols.data());
+  }
+}
+BENCHMARK(BM_Im2Col)->Arg(12)->Arg(28)->Arg(32);
+
+void BM_CnnForwardBackward(benchmark::State& state) {
+  // One training step of the scaled bench CNN on a batch of 10 — the unit
+  // of work the simulator performs per client batch.
+  Rng rng(4);
+  auto model = BuildModel(BenchCnnConfig(1, 12));
+  model->Initialize(&rng);
+  Tensor x(Shape({10, 1, 12, 12}));
+  x.FillNormal(&rng);
+  const std::vector<int> labels{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  for (auto _ : state) {
+    model->ZeroGrad();
+    benchmark::DoNotOptimize(model->ForwardBackward(x, labels));
+  }
+}
+BENCHMARK(BM_CnnForwardBackward);
+
+void BM_PaperCnn1Forward(benchmark::State& state) {
+  // Table II model at batch 1: documents the CPU cost of paper-scale runs.
+  Rng rng(5);
+  auto model = BuildModel(PaperCnn1Config());
+  model->Initialize(&rng);
+  Tensor x(Shape({1, 1, 28, 28}));
+  x.FillNormal(&rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model->Predict(x));
+  }
+}
+BENCHMARK(BM_PaperCnn1Forward);
+
+void BM_VecAxpy(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const auto x = RandomVec(d, 6);
+  auto y = RandomVec(d, 7);
+  for (auto _ : state) {
+    vec::Axpy(0.01f, x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(d) * 2 * 4);
+}
+BENCHMARK(BM_VecAxpy)->Arg(4096)->Arg(1 << 17)->Arg(1663370);
+
+void BM_VecDot(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const auto x = RandomVec(d, 8);
+  const auto y = RandomVec(d, 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vec::Dot(x, y));
+  }
+}
+BENCHMARK(BM_VecDot)->Arg(4096)->Arg(1 << 17);
+
+void BM_SoftmaxRows(benchmark::State& state) {
+  const int64_t rows = state.range(0);
+  const auto logits = RandomVec(static_cast<size_t>(rows * 10), 10);
+  std::vector<float> probs(logits.size());
+  for (auto _ : state) {
+    ops::SoftmaxRows(logits.data(), rows, 10, probs.data());
+    benchmark::DoNotOptimize(probs.data());
+  }
+}
+BENCHMARK(BM_SoftmaxRows)->Arg(32)->Arg(256);
+
+void BM_MaxPool(benchmark::State& state) {
+  const int64_t hw = state.range(0);
+  const auto input = RandomVec(static_cast<size_t>(8 * 4 * hw * hw), 11);
+  const int64_t out = hw / 2;
+  std::vector<float> output(static_cast<size_t>(8 * 4 * out * out));
+  std::vector<int32_t> argmax(output.size());
+  for (auto _ : state) {
+    ops::MaxPool2dForward(input.data(), 8, 4, hw, hw, 2, 2, output.data(),
+                          argmax.data());
+    benchmark::DoNotOptimize(output.data());
+  }
+}
+BENCHMARK(BM_MaxPool)->Arg(12)->Arg(28);
+
+}  // namespace
+}  // namespace fedadmm
+
+BENCHMARK_MAIN();

@@ -1,0 +1,141 @@
+/// \file bench_table3_rounds.cc
+/// \brief Reproduces Table III: number of communication rounds (and speedup
+/// relative to FedSGD) to reach a target accuracy, across datasets,
+/// populations and IID/non-IID splits, for all five algorithms.
+///
+/// Paper reference (rounds to target; 100+ = not reached):
+///   MNIST m=100:  IID  FedSGD 297 / FedADMM 10 / FedAvg 19 / FedProx 29 / SCAFFOLD 27
+///                 nIID FedSGD 250 / FedADMM 33 / FedAvg 77 / FedProx 100+ / SCAFFOLD 76
+///   MNIST m=1000: IID  201/8/61/78/61        nIID 269/13/73/100+/84
+///   FMNIST m=1000: IID 390/3/10/14/12        nIID 530/7/33/61/40
+///   CIFAR m=1000: IID  186/7/24/32/37        nIID 202/9/50/68/100+
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using namespace fedadmm;
+using namespace fedadmm::bench;
+
+struct Setting {
+  TaskKind task;
+  int clients;
+};
+
+struct Results {
+  int fedsgd = -1, fedadmm = -1, fedavg = -1, fedprox = -1, scaffold = -1;
+};
+
+int MergeRounds(int acc, int run, int budget) {
+  const int r = run < 0 ? budget + 1 : run;
+  return acc < 0 ? r : (acc + r);
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader(
+      "Table III — communication rounds to target accuracy "
+      "(per-task targets; '+' = not reached)");
+
+  const int budget = RoundBudget(40, 120);
+  const int seeds = SeedCount();
+  const std::vector<Setting> settings = {
+      {TaskKind::kMnistLike, 100},
+      {TaskKind::kMnistLike, LargeScale() ? 300 : 200},
+      {TaskKind::kFmnistLike, LargeScale() ? 300 : 200},
+      {TaskKind::kCifarLike, LargeScale() ? 300 : 200},
+  };
+
+  std::printf("%-10s %-8s %-6s %-8s %-8s %-8s %-8s %-9s %-10s\n", "task", "m",
+              "split", "FedSGD", "FedADMM", "FedAvg", "FedProx", "SCAFFOLD",
+              "reduction");
+  for (const Setting& setting : settings) {
+    for (bool iid : {true, false}) {
+      const double target = TaskTarget(setting.task);
+      Results totals;
+      for (int s = 0; s < seeds; ++s) {
+        Scenario scenario =
+            MakeScenario(setting.task, setting.clients, iid, 1 + s);
+        const uint64_t seed = 11 + static_cast<uint64_t>(s);
+        {
+          FedSgd algo(0.1f);
+          totals.fedsgd = MergeRounds(
+              totals.fedsgd,
+              RunScenario(&scenario, &algo, 0.1, budget, seed, target)
+                  .RoundsToAccuracy(target),
+              budget);
+        }
+        {
+          FedAdmm algo(BenchAdmmOptions());
+          totals.fedadmm = MergeRounds(
+              totals.fedadmm,
+              RunScenario(&scenario, &algo, 0.1, budget, seed, target)
+                  .RoundsToAccuracy(target),
+              budget);
+        }
+        {
+          FedAvg algo(BenchLocalSpec());
+          totals.fedavg = MergeRounds(
+              totals.fedavg,
+              RunScenario(&scenario, &algo, 0.1, budget, seed, target)
+                  .RoundsToAccuracy(target),
+              budget);
+        }
+        {
+          LocalTrainSpec local = BenchLocalSpec();
+          local.variable_epochs = true;
+          FedProx algo(local, 0.1f);
+          totals.fedprox = MergeRounds(
+              totals.fedprox,
+              RunScenario(&scenario, &algo, 0.1, budget, seed, target)
+                  .RoundsToAccuracy(target),
+              budget);
+        }
+        {
+          Scaffold algo(BenchLocalSpec());
+          totals.scaffold = MergeRounds(
+              totals.scaffold,
+              RunScenario(&scenario, &algo, 0.1, budget, seed, target)
+                  .RoundsToAccuracy(target),
+              budget);
+        }
+      }
+      auto avg = [&](int total) {
+        return static_cast<double>(total) / seeds;
+      };
+      auto fmt = [&](int total, char* buf, size_t n) {
+        const double v = avg(total);
+        if (v > budget) {
+          std::snprintf(buf, n, "%d+", budget);
+        } else {
+          std::snprintf(buf, n, "%.0f", v);
+        }
+      };
+      char sgd[16], admm[16], favg[16], prox[16], scaf[16];
+      fmt(totals.fedsgd, sgd, sizeof(sgd));
+      fmt(totals.fedadmm, admm, sizeof(admm));
+      fmt(totals.fedavg, favg, sizeof(favg));
+      fmt(totals.fedprox, prox, sizeof(prox));
+      fmt(totals.scaffold, scaf, sizeof(scaf));
+      // Reduction of FedADMM over the best *baseline* (paper's metric).
+      const double best_baseline =
+          std::min({avg(totals.fedavg), avg(totals.fedprox),
+                    avg(totals.scaffold), avg(totals.fedsgd)});
+      const double reduction =
+          (1.0 - avg(totals.fedadmm) / best_baseline) * 100.0;
+      std::printf("%-10s %-8d %-6s %-8s %-8s %-8s %-8s %-9s %+.0f%%\n",
+                  TaskName(setting.task), setting.clients,
+                  iid ? "IID" : "nIID", sgd, admm, favg, prox, scaf,
+                  reduction);
+    }
+  }
+
+  std::printf(
+      "\npaper shape: FedADMM fastest everywhere (47-87%% reduction vs the\n"
+      "best baseline), gap largest for non-IID and large m; FedSGD slowest.\n");
+  PrintFootnote();
+  return 0;
+}

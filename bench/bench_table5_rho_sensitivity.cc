@@ -1,0 +1,82 @@
+/// \file bench_table5_rho_sensitivity.cc
+/// \brief Reproduces Table V: FedProx's sensitivity to the proximal
+/// coefficient ρ vs FedADMM with one fixed ρ. The paper shows FedProx's
+/// best ρ changes across datasets and populations (and is non-monotone),
+/// while FedADMM with a constant ρ dominates every tested FedProx.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using namespace fedadmm;
+using namespace fedadmm::bench;
+
+int RoundsFor(Scenario* scenario, FederatedAlgorithm* algo, int budget,
+              double target, uint64_t seed) {
+  const History h = RunScenario(scenario, algo, 0.1, budget, seed, target);
+  const int r = h.RoundsToAccuracy(target);
+  return r < 0 ? -1 : r;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader(
+      "Table V — rounds to target: FedADMM (fixed ρ) vs FedProx (ρ sweep)");
+
+  const int budget = RoundBudget(40, 100);
+  const std::vector<int> populations =
+      LargeScale() ? std::vector<int>{200, 500} : std::vector<int>{100, 200};
+  const std::vector<float> prox_rhos = {0.01f, 0.1f, 1.0f};
+
+  for (TaskKind task : {TaskKind::kMnistLike, TaskKind::kFmnistLike}) {
+    const double target = TaskTarget(task);
+    std::printf("\n%s (target %.0f%%)\n", TaskName(task), target * 100);
+    std::printf("%-26s", "method (rho)");
+    for (int m : populations) {
+      std::printf(" m=%-4d IID  m=%-4d nIID", m, m);
+    }
+    std::printf("\n");
+
+    // FedADMM row: fixed bench rho.
+    std::printf("%-26s", ("FedADMM (" + std::to_string(kBenchRho) + ")")
+                             .substr(0, 25)
+                             .c_str());
+    for (int m : populations) {
+      for (bool iid : {true, false}) {
+        Scenario scenario = MakeScenario(task, m, iid, 8);
+        FedAdmm algo(BenchAdmmOptions());
+        const int r = RoundsFor(&scenario, &algo, budget, target, 81);
+        std::printf(" %-11s", FormatRounds(r, budget).c_str());
+      }
+    }
+    std::printf("\n");
+
+    // FedProx rows: rho sweep.
+    for (float rho : prox_rhos) {
+      char name[64];
+      std::snprintf(name, sizeof(name), "FedProx (%.2f)", rho);
+      std::printf("%-26s", name);
+      for (int m : populations) {
+        for (bool iid : {true, false}) {
+          Scenario scenario = MakeScenario(task, m, iid, 8);
+          LocalTrainSpec local = BenchLocalSpec();
+          local.variable_epochs = true;
+          FedProx algo(local, rho);
+          const int r = RoundsFor(&scenario, &algo, budget, target, 81);
+          std::printf(" %-11s", FormatRounds(r, budget).c_str());
+        }
+      }
+      std::printf("\n");
+    }
+  }
+
+  std::printf(
+      "\npaper shape: FedProx's performance varies drastically and\n"
+      "non-monotonically with ρ (its best ρ differs across datasets and\n"
+      "populations), while a single fixed-ρ FedADMM stays consistent.\n");
+  PrintFootnote();
+  return 0;
+}

@@ -1,0 +1,100 @@
+/// \file bench_table6_fig10_imbalanced.cc
+/// \brief Reproduces Table VI + Fig. 10: imbalanced data volumes. Clients
+/// are split into groups; each member of group g holds g label-sorted
+/// shards (the last group collects the remainder), producing a heavy-tailed
+/// size distribution (paper: mean 300, stdev ≈ 171 at 200 clients / 10,000
+/// shards). All methods then train on the imbalanced federation.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using namespace fedadmm;
+using namespace fedadmm::bench;
+
+std::vector<double> Series(Scenario* scenario, FederatedAlgorithm* algo,
+                           int rounds, uint64_t seed) {
+  const History h = RunScenario(scenario, algo, 0.1, rounds, seed);
+  std::vector<double> acc;
+  for (const RoundRecord& r : h.records()) acc.push_back(r.test_accuracy);
+  return acc;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Table VI + Fig. 10 — imbalanced data volumes");
+
+  const int rounds = RoundBudget(36, 100);
+  // The group scheme needs ~m²/4 shards (member of group g holds g shards),
+  // so the client count is kept moderate and per-client volume raised at
+  // large scale.
+  const int clients = LargeScale() ? 100 : 40;
+  const int samples_per_client = LargeScale() ? 60 : 24;
+
+  // --- Table VI: partition statistics (plus the paper's exact full-scale
+  // numbers, reproduced by the partition test suite).
+  std::printf("\nTable VI — imbalanced partition statistics:\n");
+  std::printf("%-10s %-8s %-9s %-8s %-8s\n", "task", "clients", "samples",
+              "mean", "stdev");
+  for (TaskKind task : {TaskKind::kFmnistLike, TaskKind::kCifarLike}) {
+    Scenario scenario =
+        MakeScenario(task, clients, /*iid=*/false, 10, samples_per_client);
+    Rng rng(17);
+    // Minimum shards the group scheme requires, plus headroom so the last
+    // group genuinely "collects the remainder".
+    const int groups = clients / 2;
+    const int needed = groups * (groups - 1) + 2;
+    const int total_shards =
+        std::min(scenario.split->train.size(),
+                 std::max(needed + clients, clients * 8));
+    scenario.partition = PartitionImbalancedGroups(
+                             scenario.split->train.labels(), clients,
+                             total_shards, &rng)
+                             .ValueOrDie();
+    scenario.problem = std::make_unique<NnFederatedProblem>(
+        scenario.model, &scenario.split->train, &scenario.split->test,
+        scenario.partition, 8);
+    const PartitionStats stats =
+        ComputePartitionStats(scenario.partition,
+                              scenario.split->train.labels());
+    std::printf("%-10s %-8d %-9d %-8.1f %-8.1f\n", TaskName(task),
+                stats.num_clients, stats.total_samples, stats.mean_size,
+                stats.stddev_size);
+
+    // --- Fig. 10: convergence paths on the imbalanced federation.
+    std::printf("\nFig. 10 — %s (accuracy per round):\n", TaskName(task));
+    std::printf("%-6s %-9s %-9s %-9s %-9s\n", "round", "FedADMM", "FedAvg",
+                "FedProx", "SCAFFOLD");
+    FedAdmm admm(BenchAdmmOptions());
+    FedAvg avg(BenchLocalSpec());
+    LocalTrainSpec var = BenchLocalSpec();
+    var.variable_epochs = true;
+    FedProx prox(var, 0.1f);
+    Scaffold scaffold(BenchLocalSpec());
+
+    const auto a = Series(&scenario, &admm, rounds, 101);
+    const auto b = Series(&scenario, &avg, rounds, 101);
+    const auto c = Series(&scenario, &prox, rounds, 101);
+    const auto d = Series(&scenario, &scaffold, rounds, 101);
+    const int step = std::max(1, rounds / 10);
+    for (int r = 0; r < rounds; r += step) {
+      std::printf("%-6d %-9.3f %-9.3f %-9.3f %-9.3f\n", r,
+                  a[static_cast<size_t>(r)], b[static_cast<size_t>(r)],
+                  c[static_cast<size_t>(r)], d[static_cast<size_t>(r)]);
+    }
+    std::printf("final  %-9.3f %-9.3f %-9.3f %-9.3f\n\n", a.back(), b.back(),
+                c.back(), d.back());
+  }
+
+  std::printf(
+      "paper reference (Table VI, full scale): FMNIST 200 clients / 60,000\n"
+      "samples -> mean 300, stdev 171.03; CIFAR-10 -> mean 250, stdev\n"
+      "142.52. Those exact statistics are asserted by the partition tests.\n"
+      "paper shape (Fig. 10): FedADMM reaches the highest accuracy on the\n"
+      "imbalanced federations, with the largest margin on CIFAR-10.\n");
+  PrintFootnote();
+  return 0;
+}

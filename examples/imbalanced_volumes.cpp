@@ -1,0 +1,63 @@
+/// \file imbalanced_volumes.cpp
+/// \brief The paper's Table VI / Fig. 10 setting at example scale: clients
+/// hold drastically different data volumes (group-indexed shard counts),
+/// and FedADMM trains through the imbalance.
+///
+/// Run: ./imbalanced_volumes [rounds]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/fedadmm.h"
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "fl/nn_problem.h"
+#include "fl/selection.h"
+#include "fl/simulation.h"
+
+int main(int argc, char** argv) {
+  using namespace fedadmm;
+  const int rounds = argc > 1 ? std::atoi(argv[1]) : 30;
+  const int clients = 40;  // 20 groups; group g holds g shards per member
+
+  const DataSplit split = GenerateSynthetic(
+      SyntheticBenchSpec(1, 12, /*train_per_class=*/100, 20, 0.8f));
+  Rng rng(29);
+  const Partition partition =
+      PartitionImbalancedGroups(split.train.labels(), clients,
+                                /*total_shards=*/500, &rng)
+          .ValueOrDie();
+
+  const PartitionStats stats =
+      ComputePartitionStats(partition, split.train.labels());
+  std::printf("imbalanced partition: %s\n", stats.ToString().c_str());
+  std::printf("(paper Table VI reports mean 300 / stdev 171 at full scale; "
+              "the generator reproduces those exactly under 200 clients and "
+              "10,000 shards — see partition tests)\n\n");
+
+  const ModelConfig model = BenchCnnConfig(1, 12);
+  NnFederatedProblem problem(model, &split.train, &split.test, partition, 4);
+
+  FedAdmmOptions options;
+  options.local.learning_rate = 0.05f;
+  options.local.batch_size = 10;
+  options.local.max_epochs = 5;
+  options.local.variable_epochs = true;
+  options.rho = StepSchedule(0.05);
+  FedAdmm algorithm(options);
+  UniformFractionSelector selector(clients, 0.2);
+
+  SimulationConfig config;
+  config.max_rounds = rounds;
+  config.seed = 31;
+  Simulation sim(&problem, &algorithm, &selector, config);
+  sim.set_observer([](const RoundRecord& r) {
+    if (r.round % 5 == 0) {
+      std::printf("round %3d  acc %.3f  loss %.4f\n", r.round,
+                  r.test_accuracy, r.train_loss);
+    }
+  });
+  const History history = std::move(sim.Run()).ValueOrDie();
+  std::printf("\nbest accuracy: %.3f\n", history.BestAccuracy());
+  return 0;
+}

@@ -1,0 +1,75 @@
+/// \file system_heterogeneity.cpp
+/// \brief System heterogeneity demo: clients perform variable amounts of
+/// local work (E_i ~ U{1..E}, Section V-A of the paper), including extreme
+/// stragglers, and FedADMM keeps training while byte accounting shows the
+/// identical per-round communication footprint of FedAvg.
+///
+/// Also demonstrates the Bernoulli activation scheme of Remark 2: clients
+/// participate with heterogeneous probabilities instead of uniform
+/// sampling.
+///
+/// Run: ./system_heterogeneity [rounds]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/fedadmm.h"
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "fl/nn_problem.h"
+#include "fl/selection.h"
+#include "fl/simulation.h"
+
+int main(int argc, char** argv) {
+  using namespace fedadmm;
+  const int rounds = argc > 1 ? std::atoi(argv[1]) : 30;
+  const int clients = 24;
+
+  const DataSplit split = GenerateSynthetic(
+      SyntheticBenchSpec(1, 12, /*train_per_class=*/48, 20, 0.8f));
+  Rng rng(17);
+  const Partition partition =
+      PartitionIid(split.train.size(), clients, &rng).ValueOrDie();
+  const ModelConfig model = BenchCnnConfig(1, 12);
+
+  // Heterogeneous participation: device i is available with probability
+  // between 0.05 (battery-constrained phone) and 0.5 (plugged-in desktop).
+  std::vector<double> availability;
+  for (int i = 0; i < clients; ++i) {
+    availability.push_back(0.05 + 0.45 * i / (clients - 1));
+  }
+
+  NnFederatedProblem problem(model, &split.train, &split.test, partition, 4);
+  FedAdmmOptions options;
+  options.local.learning_rate = 0.05f;
+  options.local.batch_size = 10;
+  options.local.max_epochs = 8;      // fast devices do up to 8 epochs...
+  options.local.variable_epochs = true;  // ...stragglers may do just 1
+  options.rho = StepSchedule(0.05);
+  FedAdmm algorithm(options);
+  BernoulliSelector selector(availability);
+
+  SimulationConfig config;
+  config.max_rounds = rounds;
+  config.seed = 23;
+  Simulation sim(&problem, &algorithm, &selector, config);
+
+  long long total_epochs = 0;
+  int total_updates = 0;
+  sim.set_observer([&](const RoundRecord& r) {
+    std::printf("round %3d  |S|=%2d  acc %.3f  loss %.4f\n", r.round,
+                r.num_selected, r.test_accuracy, r.train_loss);
+    total_updates += r.num_selected;
+  });
+  const History history = std::move(sim.Run()).ValueOrDie();
+  (void)total_epochs;
+
+  std::printf(
+      "\nbest accuracy %.3f with %d client updates across %d rounds\n",
+      history.BestAccuracy(), total_updates, history.size());
+  std::printf(
+      "upload per participating client: %lld bytes (= model size; identical "
+      "to FedAvg/FedProx, half of SCAFFOLD)\n",
+      static_cast<long long>(problem.dim() * sizeof(float)));
+  return 0;
+}

@@ -1,0 +1,111 @@
+#include "core/fedadmm.h"
+
+#include "tensor/vec.h"
+
+namespace fedadmm {
+
+void FedAdmm::Setup(const AlgorithmContext& ctx,
+                    std::span<const float> theta0) {
+  num_clients_ = ctx.num_clients;
+  dim_ = ctx.dim;
+  // Canonical initialization (Section VII): w_i⁰ = θ⁰, y_i⁰ = 0, which makes
+  // θᵗ the exact mean of augmented models under η = |S|/m.
+  w_.assign(static_cast<size_t>(ctx.num_clients),
+            std::vector<float>(theta0.begin(), theta0.end()));
+  y_.assign(static_cast<size_t>(ctx.num_clients),
+            std::vector<float>(static_cast<size_t>(ctx.dim), 0.0f));
+}
+
+UpdateMessage FedAdmm::ClientUpdate(int client_id, int round,
+                                    std::span<const float> theta,
+                                    LocalProblem* problem, Rng rng) {
+  std::vector<float>& w_stored = w_[static_cast<size_t>(client_id)];
+  std::vector<float>& y = y_[static_cast<size_t>(client_id)];
+  const float rho = RhoAt(round);
+  FEDADMM_CHECK_MSG(rho > 0.0f, "FedADMM requires rho > 0");
+
+  // Previous augmented model u_i = w_i + y_i/ρ (Eq. 4 uses the *stored*
+  // state, not θ).
+  std::vector<float> u_prev(w_stored.size());
+  for (size_t i = 0; i < u_prev.size(); ++i) {
+    u_prev[i] = w_stored[i] + y[i] / rho;
+  }
+
+  // Local initialization: warm start (I) vs download (II) — Fig. 8.
+  std::vector<float> w =
+      options_.init == FedAdmmOptions::LocalInit::kClientModel
+          ? w_stored
+          : std::vector<float>(theta.begin(), theta.end());
+
+  // Minimize the augmented Lagrangian (3): g += y_i + ρ (w − θ).
+  const bool frozen = options_.freeze_duals;
+  auto transform = [&y, rho, theta, frozen](std::span<const float> w_now,
+                                            std::span<float> grad) {
+    const size_t n = grad.size();
+    if (frozen) {
+      for (size_t i = 0; i < n; ++i) {
+        grad[i] += rho * (w_now[i] - theta[i]);
+      }
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        grad[i] += y[i] + rho * (w_now[i] - theta[i]);
+      }
+    }
+  };
+  const int epochs = SampleEpochs(options_.local, &rng);
+  const LocalSolveResult result =
+      RunLocalSgd(problem, options_.local, epochs, w, &rng, transform);
+
+  // Dual ascent (line 20): y_i ← y_i + ρ (w_i⁺ − θ).
+  if (!frozen) {
+    for (size_t i = 0; i < y.size(); ++i) {
+      y[i] += rho * (w[i] - theta[i]);
+    }
+  }
+
+  // Update message (Eq. 4): Δ_i = (w⁺ + y⁺/ρ) − (w + y/ρ).
+  UpdateMessage msg;
+  msg.client_id = client_id;
+  msg.delta.resize(w.size());
+  for (size_t i = 0; i < w.size(); ++i) {
+    msg.delta[i] = (w[i] + y[i] / rho) - u_prev[i];
+  }
+  w_stored = std::move(w);
+
+  msg.train_loss = result.mean_loss;
+  msg.epochs_run = result.epochs_run;
+  msg.steps_run = result.steps_run;
+  msg.final_grad_norm_sq = result.final_grad_norm_sq;
+  return msg;
+}
+
+void FedAdmm::ServerUpdate(const std::vector<UpdateMessage>& updates,
+                           int round, std::vector<float>* theta) {
+  FEDADMM_CHECK(!updates.empty());
+  const float eta =
+      options_.eta_active_fraction
+          ? static_cast<float>(updates.size()) /
+                static_cast<float>(num_clients_)
+          : static_cast<float>(options_.eta.At(round));
+  // Tracking update (Eq. 5): θ ← θ + (η/|S_t|) Σ Δ_i.
+  const float step = eta / static_cast<float>(updates.size());
+  for (const UpdateMessage& msg : updates) {
+    vec::Axpy(step, msg.delta, *theta);
+  }
+}
+
+std::vector<float> FedAdmm::MeanAugmentedModel(int round) const {
+  FEDADMM_CHECK(!w_.empty());
+  const float rho = RhoAt(round);
+  std::vector<float> mean(w_[0].size(), 0.0f);
+  for (size_t i = 0; i < w_.size(); ++i) {
+    for (size_t k = 0; k < mean.size(); ++k) {
+      mean[k] += w_[i][k] + y_[i][k] / rho;
+    }
+  }
+  const float inv_m = 1.0f / static_cast<float>(w_.size());
+  for (float& v : mean) v *= inv_m;
+  return mean;
+}
+
+}  // namespace fedadmm

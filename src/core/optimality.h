@@ -1,0 +1,44 @@
+/// \file optimality.h
+/// \brief The optimality-gap functional V_t of Eq. (7).
+///
+/// V_t = ‖∇_θ L‖² + Σ_i ( ‖∇_{w_i} L_i‖² + ‖w_i − θ‖² ), where
+/// L = Σ_i L_i is the aggregated augmented Lagrangian. V_t = 0 iff
+/// (w, y, θ) is a stationary point of the consensus problem (2). Theorem 1
+/// bounds the running average of E[V_t]; tests verify that FedADMM drives
+/// V_t toward the ε-floor on convex problems.
+
+#ifndef FEDADMM_CORE_OPTIMALITY_H_
+#define FEDADMM_CORE_OPTIMALITY_H_
+
+#include <span>
+
+#include "core/fedadmm.h"
+#include "fl/problem.h"
+
+namespace fedadmm {
+
+/// \brief Breakdown of the optimality gap.
+struct OptimalityGap {
+  /// ‖∇_θ L‖² — zero under η = |S|/m tracking (Eq. 20).
+  double grad_theta_sq = 0.0;
+  /// Σ_i ‖∇_{w_i} L_i‖².
+  double grad_w_sq = 0.0;
+  /// Σ_i ‖w_i − θ‖² (consensus violation).
+  double consensus_sq = 0.0;
+
+  /// V_t, the sum of the three terms.
+  double total() const { return grad_theta_sq + grad_w_sq + consensus_sq; }
+};
+
+/// \brief Evaluates V_t for the current FedADMM state against `problem`.
+///
+/// Uses each client's full local gradient (worker slot 0), so this is
+/// expensive — intended for tests, diagnostics, and the Table I bench, not
+/// for the inner loop. `round` selects the ρ in effect.
+OptimalityGap ComputeOptimalityGap(FederatedProblem* problem,
+                                   const FedAdmm& algorithm,
+                                   std::span<const float> theta, int round);
+
+}  // namespace fedadmm
+
+#endif  // FEDADMM_CORE_OPTIMALITY_H_

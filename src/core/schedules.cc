@@ -1,0 +1,35 @@
+#include "core/schedules.h"
+
+#include "util/status.h"
+
+namespace fedadmm {
+
+StepSchedule& StepSchedule::AddSwitch(int round, double value) {
+  FEDADMM_CHECK_MSG(
+      switches_.empty() || switches_.back().first < round,
+      "StepSchedule switches must be added in increasing round order");
+  switches_.emplace_back(round, value);
+  return *this;
+}
+
+double StepSchedule::At(int round) const {
+  double value = initial_;
+  for (const auto& [switch_round, switch_value] : switches_) {
+    if (round >= switch_round) {
+      value = switch_value;
+    } else {
+      break;
+    }
+  }
+  return value;
+}
+
+std::string StepSchedule::ToString() const {
+  std::string s = std::to_string(initial_);
+  for (const auto& [round, value] : switches_) {
+    s += " (" + std::to_string(value) + " @ " + std::to_string(round) + ")";
+  }
+  return s;
+}
+
+}  // namespace fedadmm

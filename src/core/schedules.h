@@ -1,0 +1,48 @@
+/// \file schedules.h
+/// \brief Piecewise-constant hyperparameter schedules.
+///
+/// The paper adjusts the server step size η mid-run (Fig. 6) and the
+/// proximal coefficient ρ mid-run (Fig. 9). Both are expressed as a
+/// piecewise-constant schedule over rounds.
+
+#ifndef FEDADMM_CORE_SCHEDULES_H_
+#define FEDADMM_CORE_SCHEDULES_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fedadmm {
+
+/// \brief A value that is constant between switch rounds.
+class StepSchedule {
+ public:
+  StepSchedule() = default;
+
+  /// A constant schedule.
+  explicit StepSchedule(double initial) : initial_(initial) {}
+
+  /// From `round` onward (inclusive) the value becomes `value`. Switches
+  /// must be added in increasing round order.
+  StepSchedule& AddSwitch(int round, double value);
+
+  /// The value in effect at `round`.
+  double At(int round) const;
+
+  /// The value before any switches.
+  double initial() const { return initial_; }
+
+  /// True if the schedule never changes.
+  bool is_constant() const { return switches_.empty(); }
+
+  /// e.g. "1 (0.5 @ 60)".
+  std::string ToString() const;
+
+ private:
+  double initial_ = 1.0;
+  std::vector<std::pair<int, double>> switches_;
+};
+
+}  // namespace fedadmm
+
+#endif  // FEDADMM_CORE_SCHEDULES_H_

@@ -1,0 +1,74 @@
+#include "data/dataset.h"
+
+#include <cstring>
+
+namespace fedadmm {
+
+void Dataset::Add(std::span<const float> pixels, int label) {
+  FEDADMM_CHECK_MSG(static_cast<int64_t>(pixels.size()) == SampleNumel(),
+                    "Dataset::Add: pixel count mismatch");
+  FEDADMM_CHECK_MSG(label >= 0 && label < num_classes_,
+                    "Dataset::Add: label out of range");
+  storage_.insert(storage_.end(), pixels.begin(), pixels.end());
+  labels_.push_back(label);
+}
+
+Tensor Dataset::MakeBatch(std::span<const int> indices) const {
+  const int64_t b = static_cast<int64_t>(indices.size());
+  const int64_t per = SampleNumel();
+  Tensor batch(Shape({b, sample_shape_.dim(0), sample_shape_.dim(1),
+                      sample_shape_.dim(2)}));
+  float* dst = batch.data();
+  for (int64_t i = 0; i < b; ++i) {
+    const int idx = indices[static_cast<size_t>(i)];
+    FEDADMM_CHECK_MSG(idx >= 0 && idx < size(), "batch index out of range");
+    std::memcpy(dst + i * per,
+                storage_.data() + static_cast<size_t>(idx) * per,
+                static_cast<size_t>(per) * sizeof(float));
+  }
+  return batch;
+}
+
+std::vector<int> Dataset::MakeLabelBatch(std::span<const int> indices) const {
+  std::vector<int> out;
+  out.reserve(indices.size());
+  for (int idx : indices) {
+    FEDADMM_CHECK_MSG(idx >= 0 && idx < size(), "label index out of range");
+    out.push_back(labels_[static_cast<size_t>(idx)]);
+  }
+  return out;
+}
+
+std::vector<int> Dataset::AllIndices() const {
+  std::vector<int> idx(static_cast<size_t>(size()));
+  for (int i = 0; i < size(); ++i) idx[static_cast<size_t>(i)] = i;
+  return idx;
+}
+
+std::vector<int> Dataset::ClassCounts() const {
+  std::vector<int> counts(static_cast<size_t>(num_classes_), 0);
+  for (int l : labels_) ++counts[static_cast<size_t>(l)];
+  return counts;
+}
+
+std::vector<std::vector<int>> ClientView::EpochBatches(int batch_size,
+                                                       Rng* rng) const {
+  FEDADMM_CHECK(dataset_ != nullptr);
+  std::vector<int> order = indices_;
+  rng->Shuffle(&order);
+  std::vector<std::vector<int>> batches;
+  if (batch_size <= 0 || batch_size >= static_cast<int>(order.size())) {
+    if (!order.empty()) batches.push_back(std::move(order));
+    return batches;
+  }
+  for (size_t start = 0; start < order.size();
+       start += static_cast<size_t>(batch_size)) {
+    const size_t end =
+        std::min(order.size(), start + static_cast<size_t>(batch_size));
+    batches.emplace_back(order.begin() + static_cast<ptrdiff_t>(start),
+                         order.begin() + static_cast<ptrdiff_t>(end));
+  }
+  return batches;
+}
+
+}  // namespace fedadmm

@@ -1,0 +1,124 @@
+/// \file dataset.h
+/// \brief In-memory labeled image dataset and batch assembly.
+
+#ifndef FEDADMM_DATA_DATASET_H_
+#define FEDADMM_DATA_DATASET_H_
+
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace fedadmm {
+
+/// \brief A dense collection of (image, label) pairs.
+///
+/// Samples are stored contiguously; `MakeBatch` gathers an index list into a
+/// fresh [B, C, H, W] tensor, which is the unit consumed by Model.
+class Dataset {
+ public:
+  Dataset() = default;
+
+  /// Creates an empty dataset of samples shaped [C, H, W] with labels in
+  /// [0, num_classes).
+  Dataset(Shape sample_shape, int num_classes)
+      : sample_shape_(std::move(sample_shape)), num_classes_(num_classes) {
+    FEDADMM_CHECK_MSG(sample_shape_.ndim() == 3,
+                      "Dataset samples must be [C, H, W]");
+    FEDADMM_CHECK_MSG(num_classes > 0, "num_classes must be positive");
+  }
+
+  /// Pre-allocates storage for `n` samples.
+  void Reserve(int n) {
+    storage_.reserve(static_cast<size_t>(n) * SampleNumel());
+    labels_.reserve(static_cast<size_t>(n));
+  }
+
+  /// Appends one sample; `pixels` must hold sample_shape().numel() floats.
+  void Add(std::span<const float> pixels, int label);
+
+  /// Number of samples.
+  int size() const { return static_cast<int>(labels_.size()); }
+  /// Shape of one sample, [C, H, W].
+  const Shape& sample_shape() const { return sample_shape_; }
+  /// Number of classes.
+  int num_classes() const { return num_classes_; }
+  /// Scalars per sample.
+  int64_t SampleNumel() const { return sample_shape_.numel(); }
+
+  /// All labels.
+  const std::vector<int>& labels() const { return labels_; }
+  /// Label of sample `i`.
+  int label(int i) const { return labels_[static_cast<size_t>(i)]; }
+  /// Pixels of sample `i`.
+  std::span<const float> sample(int i) const {
+    return std::span<const float>(
+        storage_.data() + static_cast<size_t>(i) * SampleNumel(),
+        static_cast<size_t>(SampleNumel()));
+  }
+
+  /// Gathers `indices` into a [B, C, H, W] batch tensor.
+  Tensor MakeBatch(std::span<const int> indices) const;
+
+  /// Gathers labels for `indices`.
+  std::vector<int> MakeLabelBatch(std::span<const int> indices) const;
+
+  /// All indices [0, size).
+  std::vector<int> AllIndices() const;
+
+  /// Per-class sample counts.
+  std::vector<int> ClassCounts() const;
+
+ private:
+  Shape sample_shape_;
+  int num_classes_ = 0;
+  std::vector<float> storage_;
+  std::vector<int> labels_;
+};
+
+/// \brief Train/test pair produced by generators and loaders.
+struct DataSplit {
+  Dataset train;
+  Dataset test;
+};
+
+/// \brief A client's slice of a dataset plus minibatch iteration.
+///
+/// `batch_size <= 0` means full batch (the paper's `B = ∞` configuration).
+class ClientView {
+ public:
+  ClientView() = default;
+
+  /// Points at `dataset` (not owned; must outlive the view) restricted to
+  /// `indices`.
+  ClientView(const Dataset* dataset, std::vector<int> indices)
+      : dataset_(dataset), indices_(std::move(indices)) {}
+
+  /// Number of local samples n_i.
+  int size() const { return static_cast<int>(indices_.size()); }
+  /// The underlying dataset.
+  const Dataset* dataset() const { return dataset_; }
+  /// The raw index list.
+  const std::vector<int>& indices() const { return indices_; }
+
+  /// Produces the minibatch index lists for one epoch: shuffles locally with
+  /// `rng` and chunks into batches of `batch_size` (full batch if <= 0).
+  std::vector<std::vector<int>> EpochBatches(int batch_size, Rng* rng) const;
+
+  /// Gathers the entire local slice as one batch.
+  Tensor FullBatch() const { return dataset_->MakeBatch(indices_); }
+  /// Labels of the entire local slice.
+  std::vector<int> FullLabels() const {
+    return dataset_->MakeLabelBatch(indices_);
+  }
+
+ private:
+  const Dataset* dataset_ = nullptr;
+  std::vector<int> indices_;
+};
+
+}  // namespace fedadmm
+
+#endif  // FEDADMM_DATA_DATASET_H_

@@ -1,0 +1,164 @@
+#include "data/loaders.h"
+
+#include <cstdint>
+#include <fstream>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace fedadmm {
+namespace {
+
+constexpr uint32_t kIdxImagesMagic = 0x00000803;
+constexpr uint32_t kIdxLabelsMagic = 0x00000801;
+constexpr int kCifarRecordBytes = 1 + 3 * 32 * 32;
+constexpr int kCifarRecordsPerBatch = 10000;
+
+/// Reads a big-endian uint32.
+bool ReadU32Be(std::istream& in, uint32_t* out) {
+  unsigned char bytes[4];
+  if (!in.read(reinterpret_cast<char*>(bytes), 4)) return false;
+  *out = (static_cast<uint32_t>(bytes[0]) << 24) |
+         (static_cast<uint32_t>(bytes[1]) << 16) |
+         (static_cast<uint32_t>(bytes[2]) << 8) |
+         static_cast<uint32_t>(bytes[3]);
+  return true;
+}
+
+}  // namespace
+
+Result<Dataset> LoadIdx(const std::string& images_path,
+                        const std::string& labels_path) {
+  std::ifstream images(images_path, std::ios::binary);
+  if (!images.is_open()) {
+    return Status::NotFound("LoadIdx: cannot open " + images_path);
+  }
+  std::ifstream labels(labels_path, std::ios::binary);
+  if (!labels.is_open()) {
+    return Status::NotFound("LoadIdx: cannot open " + labels_path);
+  }
+
+  uint32_t magic = 0, n_images = 0, rows = 0, cols = 0;
+  if (!ReadU32Be(images, &magic) || magic != kIdxImagesMagic) {
+    return Status::IoError("LoadIdx: bad image magic in " + images_path);
+  }
+  if (!ReadU32Be(images, &n_images) || !ReadU32Be(images, &rows) ||
+      !ReadU32Be(images, &cols)) {
+    return Status::IoError("LoadIdx: truncated image header");
+  }
+  uint32_t labels_magic = 0, n_labels = 0;
+  if (!ReadU32Be(labels, &labels_magic) || labels_magic != kIdxLabelsMagic) {
+    return Status::IoError("LoadIdx: bad label magic in " + labels_path);
+  }
+  if (!ReadU32Be(labels, &n_labels)) {
+    return Status::IoError("LoadIdx: truncated label header");
+  }
+  if (n_images != n_labels) {
+    return Status::InvalidArgument("LoadIdx: image/label count mismatch");
+  }
+  if (rows == 0 || cols == 0 || rows > 4096 || cols > 4096) {
+    return Status::InvalidArgument("LoadIdx: implausible image dims");
+  }
+
+  const int64_t pixels = static_cast<int64_t>(rows) * cols;
+  Dataset dataset(Shape({1, static_cast<int64_t>(rows),
+                         static_cast<int64_t>(cols)}),
+                  /*num_classes=*/10);
+  dataset.Reserve(static_cast<int>(n_images));
+  std::vector<unsigned char> raw(static_cast<size_t>(pixels));
+  std::vector<float> scaled(static_cast<size_t>(pixels));
+  for (uint32_t i = 0; i < n_images; ++i) {
+    if (!images.read(reinterpret_cast<char*>(raw.data()),
+                     static_cast<std::streamsize>(raw.size()))) {
+      return Status::IoError("LoadIdx: truncated image data at record " +
+                             std::to_string(i));
+    }
+    char label_byte = 0;
+    if (!labels.read(&label_byte, 1)) {
+      return Status::IoError("LoadIdx: truncated label data at record " +
+                             std::to_string(i));
+    }
+    const int label = static_cast<unsigned char>(label_byte);
+    if (label > 9) {
+      return Status::InvalidArgument("LoadIdx: label out of range");
+    }
+    for (size_t p = 0; p < raw.size(); ++p) {
+      scaled[p] = static_cast<float>(raw[p]) / 255.0f;
+    }
+    dataset.Add(scaled, label);
+  }
+  return dataset;
+}
+
+Result<Dataset> LoadCifarBatch(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::NotFound("LoadCifarBatch: cannot open " + path);
+  }
+  Dataset dataset(Shape({3, 32, 32}), /*num_classes=*/10);
+  dataset.Reserve(kCifarRecordsPerBatch);
+  std::vector<unsigned char> record(kCifarRecordBytes);
+  std::vector<float> scaled(3 * 32 * 32);
+  while (in.read(reinterpret_cast<char*>(record.data()), kCifarRecordBytes)) {
+    const int label = record[0];
+    if (label > 9) {
+      return Status::InvalidArgument("LoadCifarBatch: label out of range");
+    }
+    for (size_t p = 1; p < record.size(); ++p) {
+      scaled[p - 1] = static_cast<float>(record[p]) / 255.0f;
+    }
+    dataset.Add(scaled, label);
+  }
+  if (in.gcount() != 0) {
+    return Status::IoError("LoadCifarBatch: trailing partial record in " +
+                           path);
+  }
+  if (dataset.size() == 0) {
+    return Status::IoError("LoadCifarBatch: no records in " + path);
+  }
+  return dataset;
+}
+
+Result<DataSplit> LoadMnistDirectory(const std::string& dir) {
+  FEDADMM_ASSIGN_OR_RETURN(
+      Dataset train, LoadIdx(dir + "/train-images-idx3-ubyte",
+                             dir + "/train-labels-idx1-ubyte"));
+  FEDADMM_ASSIGN_OR_RETURN(Dataset test,
+                           LoadIdx(dir + "/t10k-images-idx3-ubyte",
+                                   dir + "/t10k-labels-idx1-ubyte"));
+  return DataSplit{std::move(train), std::move(test)};
+}
+
+Result<DataSplit> LoadCifarDirectory(const std::string& dir) {
+  Dataset train(Shape({3, 32, 32}), 10);
+  train.Reserve(5 * kCifarRecordsPerBatch);
+  for (int b = 1; b <= 5; ++b) {
+    FEDADMM_ASSIGN_OR_RETURN(
+        Dataset batch,
+        LoadCifarBatch(dir + "/data_batch_" + std::to_string(b) + ".bin"));
+    for (int i = 0; i < batch.size(); ++i) {
+      train.Add(batch.sample(i), batch.label(i));
+    }
+  }
+  FEDADMM_ASSIGN_OR_RETURN(Dataset test,
+                           LoadCifarBatch(dir + "/test_batch.bin"));
+  return DataSplit{std::move(train), std::move(test)};
+}
+
+DataSplit LoadOrSynthesize(const std::string& dir, bool cifar_layout,
+                           const SyntheticSpec& fallback) {
+  if (!dir.empty()) {
+    Result<DataSplit> loaded =
+        cifar_layout ? LoadCifarDirectory(dir) : LoadMnistDirectory(dir);
+    if (loaded.ok()) {
+      FEDADMM_LOG(Info) << "Loaded real dataset from " << dir;
+      return std::move(loaded).ValueOrDie();
+    }
+    FEDADMM_LOG(Warning) << "Real data unavailable (" << dir << "): "
+                         << loaded.status().ToString()
+                         << " — using synthetic fallback";
+  }
+  return GenerateSynthetic(fallback);
+}
+
+}  // namespace fedadmm

@@ -1,0 +1,46 @@
+/// \file loaders.h
+/// \brief Readers for the real dataset formats the paper uses.
+///
+/// When MNIST/FMNIST IDX files or CIFAR-10 binary batches are available on
+/// disk the library trains on real data; otherwise callers fall back to the
+/// synthetic generators (see `LoadOrSynthesize`). File formats:
+///   * IDX: big-endian magic 0x00000803 (images, [n, rows, cols] uint8) and
+///     0x00000801 (labels, [n] uint8) — http://yann.lecun.com/exdb/mnist/.
+///   * CIFAR-10 binary: records of 1 label byte + 3072 pixel bytes
+///     (3 channels x 32 x 32) — https://www.cs.toronto.edu/~kriz/cifar.html.
+/// Pixels are scaled to [0, 1].
+
+#ifndef FEDADMM_DATA_LOADERS_H_
+#define FEDADMM_DATA_LOADERS_H_
+
+#include <string>
+
+#include "data/dataset.h"
+#include "data/synthetic.h"
+
+namespace fedadmm {
+
+/// \brief Loads an IDX image/label file pair into a dataset.
+Result<Dataset> LoadIdx(const std::string& images_path,
+                        const std::string& labels_path);
+
+/// \brief Loads one CIFAR-10 binary batch file (10,000 records).
+Result<Dataset> LoadCifarBatch(const std::string& path);
+
+/// \brief Loads MNIST-layout train/test IDX files from a directory
+/// (train-images-idx3-ubyte etc.); also matches Fashion-MNIST's identical
+/// layout.
+Result<DataSplit> LoadMnistDirectory(const std::string& dir);
+
+/// \brief Loads CIFAR-10 binary train batches 1-5 plus test_batch from a
+/// directory.
+Result<DataSplit> LoadCifarDirectory(const std::string& dir);
+
+/// \brief Tries a real-data directory first; on any failure logs a note and
+/// returns synthetic data from `fallback`.
+DataSplit LoadOrSynthesize(const std::string& dir, bool cifar_layout,
+                           const SyntheticSpec& fallback);
+
+}  // namespace fedadmm
+
+#endif  // FEDADMM_DATA_LOADERS_H_

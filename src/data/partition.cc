@@ -1,0 +1,235 @@
+#include "data/partition.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+namespace fedadmm {
+namespace {
+
+/// Indices sorted by label (stable within a label, matching "arrange the
+/// training data by label" in Section V-A).
+std::vector<int> IndicesSortedByLabel(const std::vector<int>& labels) {
+  std::vector<int> idx(labels.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::stable_sort(idx.begin(), idx.end(), [&labels](int a, int b) {
+    return labels[static_cast<size_t>(a)] < labels[static_cast<size_t>(b)];
+  });
+  return idx;
+}
+
+/// Cuts `sorted` into `num_shards` nearly-equal contiguous shards.
+std::vector<std::vector<int>> CutShards(const std::vector<int>& sorted,
+                                        int num_shards) {
+  std::vector<std::vector<int>> shards(static_cast<size_t>(num_shards));
+  const size_t n = sorted.size();
+  size_t start = 0;
+  for (int s = 0; s < num_shards; ++s) {
+    // Even distribution of the remainder across the first shards.
+    const size_t len = n / static_cast<size_t>(num_shards) +
+                       (static_cast<size_t>(s) <
+                                n % static_cast<size_t>(num_shards)
+                            ? 1
+                            : 0);
+    shards[static_cast<size_t>(s)].assign(
+        sorted.begin() + static_cast<ptrdiff_t>(start),
+        sorted.begin() + static_cast<ptrdiff_t>(start + len));
+    start += len;
+  }
+  return shards;
+}
+
+}  // namespace
+
+Result<Partition> PartitionIid(int num_samples, int num_clients, Rng* rng) {
+  if (num_clients <= 0) {
+    return Status::InvalidArgument("PartitionIid: num_clients must be > 0");
+  }
+  if (num_samples < num_clients) {
+    return Status::InvalidArgument(
+        "PartitionIid: fewer samples than clients");
+  }
+  std::vector<int> idx(static_cast<size_t>(num_samples));
+  std::iota(idx.begin(), idx.end(), 0);
+  rng->Shuffle(&idx);
+  Partition partition(static_cast<size_t>(num_clients));
+  size_t start = 0;
+  for (int c = 0; c < num_clients; ++c) {
+    const size_t len =
+        static_cast<size_t>(num_samples / num_clients) +
+        (c < num_samples % num_clients ? 1 : 0);
+    partition[static_cast<size_t>(c)].assign(
+        idx.begin() + static_cast<ptrdiff_t>(start),
+        idx.begin() + static_cast<ptrdiff_t>(start + len));
+    start += len;
+  }
+  return partition;
+}
+
+Result<Partition> PartitionShards(const std::vector<int>& labels,
+                                  int num_clients, int shards_per_client,
+                                  Rng* rng) {
+  if (num_clients <= 0 || shards_per_client <= 0) {
+    return Status::InvalidArgument("PartitionShards: invalid sizes");
+  }
+  const int num_shards = num_clients * shards_per_client;
+  if (static_cast<int>(labels.size()) < num_shards) {
+    return Status::InvalidArgument(
+        "PartitionShards: fewer samples than shards");
+  }
+  std::vector<std::vector<int>> shards =
+      CutShards(IndicesSortedByLabel(labels), num_shards);
+  std::vector<int> shard_order(static_cast<size_t>(num_shards));
+  std::iota(shard_order.begin(), shard_order.end(), 0);
+  rng->Shuffle(&shard_order);
+
+  Partition partition(static_cast<size_t>(num_clients));
+  int next = 0;
+  for (int c = 0; c < num_clients; ++c) {
+    auto& mine = partition[static_cast<size_t>(c)];
+    for (int s = 0; s < shards_per_client; ++s, ++next) {
+      const auto& shard =
+          shards[static_cast<size_t>(shard_order[static_cast<size_t>(next)])];
+      mine.insert(mine.end(), shard.begin(), shard.end());
+    }
+  }
+  return partition;
+}
+
+Result<Partition> PartitionImbalancedGroups(const std::vector<int>& labels,
+                                            int num_clients, int total_shards,
+                                            Rng* rng) {
+  if (num_clients <= 0 || num_clients % 2 != 0) {
+    return Status::InvalidArgument(
+        "PartitionImbalancedGroups: num_clients must be positive and even");
+  }
+  const int num_groups = num_clients / 2;
+  // Minimum shards needed: every member of group g (1-based) takes g shards
+  // except the last group, which collects whatever remains.
+  const int64_t needed = 2LL * num_groups * (num_groups - 1) / 2 + 2;
+  if (total_shards < needed) {
+    return Status::InvalidArgument(
+        "PartitionImbalancedGroups: total_shards too small (< " +
+        std::to_string(needed) + ")");
+  }
+  if (static_cast<int>(labels.size()) < total_shards) {
+    return Status::InvalidArgument(
+        "PartitionImbalancedGroups: fewer samples than shards");
+  }
+  std::vector<std::vector<int>> shards =
+      CutShards(IndicesSortedByLabel(labels), total_shards);
+  std::vector<int> shard_order(static_cast<size_t>(total_shards));
+  std::iota(shard_order.begin(), shard_order.end(), 0);
+  rng->Shuffle(&shard_order);
+
+  Partition partition(static_cast<size_t>(num_clients));
+  int next = 0;
+  auto take = [&](int client, int count) {
+    auto& mine = partition[static_cast<size_t>(client)];
+    for (int s = 0; s < count; ++s, ++next) {
+      const auto& shard =
+          shards[static_cast<size_t>(shard_order[static_cast<size_t>(next)])];
+      mine.insert(mine.end(), shard.begin(), shard.end());
+    }
+  };
+  // Each member of group g receives g shards (g is 1-based) ...
+  for (int g = 1; g < num_groups; ++g) {
+    for (int member = 0; member < 2; ++member) {
+      take(2 * (g - 1) + member, g);
+    }
+  }
+  // ... "except for the last group that collects the remaining data": split
+  // the leftovers alternately between the last group's two members.
+  int member = 0;
+  while (next < total_shards) {
+    take(num_clients - 2 + member, 1);
+    member = 1 - member;
+  }
+  return partition;
+}
+
+Result<Partition> PartitionDirichlet(const std::vector<int>& labels,
+                                     int num_clients, int num_classes,
+                                     double alpha, Rng* rng) {
+  if (num_clients <= 0 || num_classes <= 0 || alpha <= 0.0) {
+    return Status::InvalidArgument("PartitionDirichlet: invalid arguments");
+  }
+  // Bucket sample indices by class, shuffled within class.
+  std::vector<std::vector<int>> by_class(static_cast<size_t>(num_classes));
+  for (size_t i = 0; i < labels.size(); ++i) {
+    const int l = labels[i];
+    if (l < 0 || l >= num_classes) {
+      return Status::InvalidArgument("PartitionDirichlet: label out of range");
+    }
+    by_class[static_cast<size_t>(l)].push_back(static_cast<int>(i));
+  }
+  for (auto& bucket : by_class) rng->Shuffle(&bucket);
+
+  Partition partition(static_cast<size_t>(num_clients));
+  for (int cls = 0; cls < num_classes; ++cls) {
+    auto& bucket = by_class[static_cast<size_t>(cls)];
+    if (bucket.empty()) continue;
+    const std::vector<double> props = rng->Dirichlet(num_clients, alpha);
+    // Convert proportions to cumulative cut points over the bucket.
+    size_t start = 0;
+    double cum = 0.0;
+    for (int c = 0; c < num_clients; ++c) {
+      cum += props[static_cast<size_t>(c)];
+      size_t end = (c == num_clients - 1)
+                       ? bucket.size()
+                       : static_cast<size_t>(
+                             std::llround(cum * static_cast<double>(
+                                                    bucket.size())));
+      end = std::min(end, bucket.size());
+      if (end < start) end = start;
+      auto& mine = partition[static_cast<size_t>(c)];
+      mine.insert(mine.end(),
+                  bucket.begin() + static_cast<ptrdiff_t>(start),
+                  bucket.begin() + static_cast<ptrdiff_t>(end));
+      start = end;
+    }
+  }
+  return partition;
+}
+
+PartitionStats ComputePartitionStats(const Partition& partition,
+                                     const std::vector<int>& labels) {
+  PartitionStats stats;
+  stats.num_clients = static_cast<int>(partition.size());
+  if (partition.empty()) return stats;
+  stats.min_size = static_cast<int>(partition[0].size());
+  double sum = 0.0, sum_sq = 0.0, distinct_sum = 0.0;
+  for (const auto& client : partition) {
+    const int sz = static_cast<int>(client.size());
+    stats.total_samples += sz;
+    stats.min_size = std::min(stats.min_size, sz);
+    stats.max_size = std::max(stats.max_size, sz);
+    sum += sz;
+    sum_sq += static_cast<double>(sz) * sz;
+    if (!labels.empty()) {
+      std::set<int> distinct;
+      for (int idx : client) distinct.insert(labels[static_cast<size_t>(idx)]);
+      distinct_sum += static_cast<double>(distinct.size());
+    }
+  }
+  const double n = static_cast<double>(stats.num_clients);
+  stats.mean_size = sum / n;
+  const double var = std::max(0.0, sum_sq / n - stats.mean_size *
+                                                    stats.mean_size);
+  stats.stddev_size = std::sqrt(var);
+  stats.mean_distinct_labels = labels.empty() ? 0.0 : distinct_sum / n;
+  return stats;
+}
+
+std::string PartitionStats::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "clients=%d samples=%d size[min=%d max=%d mean=%.2f "
+                "stdev=%.2f] distinct_labels=%.2f",
+                num_clients, total_samples, min_size, max_size, mean_size,
+                stddev_size, mean_distinct_labels);
+  return buf;
+}
+
+}  // namespace fedadmm

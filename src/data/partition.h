@@ -1,0 +1,71 @@
+/// \file partition.h
+/// \brief Client data partitioners reproducing the paper's settings.
+///
+/// * IID: shuffle, split evenly (Section V-A, "data are evenly distributed").
+/// * Shard non-IID: sort by label, cut into `shards_per_client * m` shards,
+///   assign each client `shards_per_client` shards uniformly at random — the
+///   paper's "rather extreme representative of data heterogeneity" (each
+///   client sees at most 2 classes with the default of 2 shards).
+/// * Imbalanced groups (Table VI): sort by label, cut into `total_shards`
+///   shards, split the m clients into m/2 groups; each member of group g is
+///   assigned g shards, the last group collecting the remainder. Reproduces
+///   mean 300 / stdev ≈ 171 for FMNIST with 200 clients and 10,000 shards.
+/// * Dirichlet(α): common non-IID generator, included as an extension.
+
+#ifndef FEDADMM_DATA_PARTITION_H_
+#define FEDADMM_DATA_PARTITION_H_
+
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace fedadmm {
+
+/// client id -> indices into the training set.
+using Partition = std::vector<std::vector<int>>;
+
+/// \brief IID split: global shuffle, then equal contiguous chunks (the first
+/// `n % clients` clients receive one extra sample).
+Result<Partition> PartitionIid(int num_samples, int num_clients, Rng* rng);
+
+/// \brief Pathological non-IID split by label shards (paper default:
+/// shards_per_client = 2).
+Result<Partition> PartitionShards(const std::vector<int>& labels,
+                                  int num_clients, int shards_per_client,
+                                  Rng* rng);
+
+/// \brief Table VI imbalanced-volume split (see file comment).
+Result<Partition> PartitionImbalancedGroups(const std::vector<int>& labels,
+                                            int num_clients, int total_shards,
+                                            Rng* rng);
+
+/// \brief Label-distribution-skew split: client class proportions drawn from
+/// Dirichlet(alpha). Smaller alpha = more skew.
+Result<Partition> PartitionDirichlet(const std::vector<int>& labels,
+                                     int num_clients, int num_classes,
+                                     double alpha, Rng* rng);
+
+/// \brief Summary statistics of a partition (Table VI reports these).
+struct PartitionStats {
+  int num_clients = 0;
+  int total_samples = 0;
+  int min_size = 0;
+  int max_size = 0;
+  double mean_size = 0.0;
+  double stddev_size = 0.0;
+  /// Average number of distinct labels held per client.
+  double mean_distinct_labels = 0.0;
+
+  std::string ToString() const;
+};
+
+/// \brief Computes summary statistics; `labels` may be empty to skip the
+/// label diversity metric.
+PartitionStats ComputePartitionStats(const Partition& partition,
+                                     const std::vector<int>& labels);
+
+}  // namespace fedadmm
+
+#endif  // FEDADMM_DATA_PARTITION_H_

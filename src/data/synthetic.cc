@@ -1,0 +1,158 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fedadmm {
+namespace {
+
+/// Bilinearly upsamples a coarse [grid, grid] pattern to [h, w].
+void UpsampleBilinear(const std::vector<float>& coarse, int grid, int h, int w,
+                      float* out) {
+  for (int y = 0; y < h; ++y) {
+    // Map output pixel centers onto the coarse grid.
+    const float fy = (static_cast<float>(y) + 0.5f) / static_cast<float>(h) *
+                         static_cast<float>(grid) -
+                     0.5f;
+    const int y0 = std::clamp(static_cast<int>(std::floor(fy)), 0, grid - 1);
+    const int y1 = std::min(y0 + 1, grid - 1);
+    const float wy = std::clamp(fy - static_cast<float>(y0), 0.0f, 1.0f);
+    for (int x = 0; x < w; ++x) {
+      const float fx = (static_cast<float>(x) + 0.5f) /
+                           static_cast<float>(w) * static_cast<float>(grid) -
+                       0.5f;
+      const int x0 = std::clamp(static_cast<int>(std::floor(fx)), 0, grid - 1);
+      const int x1 = std::min(x0 + 1, grid - 1);
+      const float wx = std::clamp(fx - static_cast<float>(x0), 0.0f, 1.0f);
+      const float v00 = coarse[static_cast<size_t>(y0 * grid + x0)];
+      const float v01 = coarse[static_cast<size_t>(y0 * grid + x1)];
+      const float v10 = coarse[static_cast<size_t>(y1 * grid + x0)];
+      const float v11 = coarse[static_cast<size_t>(y1 * grid + x1)];
+      out[y * w + x] = (1 - wy) * ((1 - wx) * v00 + wx * v01) +
+                       wy * ((1 - wx) * v10 + wx * v11);
+    }
+  }
+}
+
+/// Generates the deterministic prototype image for one class.
+std::vector<float> MakePrototype(const SyntheticSpec& spec, int cls) {
+  Rng rng = Rng(spec.seed).Fork(0xC1A55, static_cast<uint64_t>(cls));
+  const int grid = std::max(2, spec.prototype_grid);
+  std::vector<float> proto(
+      static_cast<size_t>(spec.channels * spec.height * spec.width));
+  std::vector<float> coarse(static_cast<size_t>(grid * grid));
+  for (int c = 0; c < spec.channels; ++c) {
+    for (auto& v : coarse) {
+      v = static_cast<float>(rng.Normal(0.0, spec.signal));
+    }
+    UpsampleBilinear(coarse, grid, spec.height, spec.width,
+                     proto.data() + static_cast<size_t>(c) * spec.height *
+                                        spec.width);
+  }
+  return proto;
+}
+
+/// Adds one noisy (optionally jittered) sample of class `cls` to `out`.
+void AddSample(const SyntheticSpec& spec, const std::vector<float>& proto,
+               int cls, Rng* rng, Dataset* out) {
+  const int h = spec.height, w = spec.width;
+  std::vector<float> pixels(proto.size());
+  int dy = 0, dx = 0;
+  if (spec.jitter) {
+    dy = static_cast<int>(rng->UniformInt(-1, 1));
+    dx = static_cast<int>(rng->UniformInt(-1, 1));
+  }
+  for (int c = 0; c < spec.channels; ++c) {
+    const float* src = proto.data() + static_cast<size_t>(c) * h * w;
+    float* dst = pixels.data() + static_cast<size_t>(c) * h * w;
+    for (int y = 0; y < h; ++y) {
+      const int sy = std::clamp(y + dy, 0, h - 1);
+      for (int x = 0; x < w; ++x) {
+        const int sx = std::clamp(x + dx, 0, w - 1);
+        dst[y * w + x] =
+            src[sy * w + sx] +
+            static_cast<float>(rng->Normal(0.0, spec.noise_stddev));
+      }
+    }
+  }
+  out->Add(pixels, cls);
+}
+
+}  // namespace
+
+std::string SyntheticSpec::ToString() const {
+  return "Synthetic(" + std::to_string(classes) + " classes, " +
+         std::to_string(channels) + "x" + std::to_string(height) + "x" +
+         std::to_string(width) + ", " + std::to_string(train_per_class) +
+         "/class train, noise " + std::to_string(noise_stddev) + ", seed " +
+         std::to_string(seed) + ")";
+}
+
+SyntheticSpec SyntheticMnistSpec(int train_per_class, int test_per_class) {
+  SyntheticSpec spec;
+  spec.channels = 1;
+  spec.height = spec.width = 28;
+  spec.train_per_class = train_per_class;
+  spec.test_per_class = test_per_class;
+  spec.noise_stddev = 0.7f;
+  spec.seed = 0x4D4E495354ULL;  // "MNIST"
+  return spec;
+}
+
+SyntheticSpec SyntheticFmnistSpec(int train_per_class, int test_per_class) {
+  SyntheticSpec spec = SyntheticMnistSpec(train_per_class, test_per_class);
+  spec.noise_stddev = 1.0f;
+  spec.seed = 0x464D4E495354ULL;  // "FMNIST"
+  return spec;
+}
+
+SyntheticSpec SyntheticCifarSpec(int train_per_class, int test_per_class) {
+  SyntheticSpec spec;
+  spec.channels = 3;
+  spec.height = spec.width = 32;
+  spec.train_per_class = train_per_class;
+  spec.test_per_class = test_per_class;
+  spec.noise_stddev = 1.3f;
+  spec.seed = 0x434946415231ULL;  // "CIFAR1"
+  return spec;
+}
+
+SyntheticSpec SyntheticBenchSpec(int channels, int hw, int train_per_class,
+                                 int test_per_class, float noise_stddev) {
+  SyntheticSpec spec;
+  spec.channels = channels;
+  spec.height = spec.width = hw;
+  spec.train_per_class = train_per_class;
+  spec.test_per_class = test_per_class;
+  spec.noise_stddev = noise_stddev;
+  spec.prototype_grid = 3;
+  spec.seed = 0xBE7C4ULL;
+  return spec;
+}
+
+DataSplit GenerateSynthetic(const SyntheticSpec& spec) {
+  FEDADMM_CHECK_MSG(spec.classes > 0 && spec.channels > 0 && spec.height > 0 &&
+                        spec.width > 0,
+                    "SyntheticSpec: invalid geometry");
+  const Shape sample_shape({spec.channels, spec.height, spec.width});
+  DataSplit split{Dataset(sample_shape, spec.classes),
+                  Dataset(sample_shape, spec.classes)};
+  split.train.Reserve(spec.classes * spec.train_per_class);
+  split.test.Reserve(spec.classes * spec.test_per_class);
+
+  for (int cls = 0; cls < spec.classes; ++cls) {
+    const std::vector<float> proto = MakePrototype(spec, cls);
+    Rng train_rng =
+        Rng(spec.seed).Fork(0x7EA1, static_cast<uint64_t>(cls), 0);
+    Rng test_rng = Rng(spec.seed).Fork(0x7EA1, static_cast<uint64_t>(cls), 1);
+    for (int i = 0; i < spec.train_per_class; ++i) {
+      AddSample(spec, proto, cls, &train_rng, &split.train);
+    }
+    for (int i = 0; i < spec.test_per_class; ++i) {
+      AddSample(spec, proto, cls, &test_rng, &split.test);
+    }
+  }
+  return split;
+}
+
+}  // namespace fedadmm

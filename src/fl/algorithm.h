@@ -1,0 +1,65 @@
+/// \file algorithm.h
+/// \brief Interface every federated optimization method implements.
+
+#ifndef FEDADMM_FL_ALGORITHM_H_
+#define FEDADMM_FL_ALGORITHM_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fl/problem.h"
+#include "fl/types.h"
+#include "util/rng.h"
+
+namespace fedadmm {
+
+/// \brief Static facts an algorithm needs before the first round.
+struct AlgorithmContext {
+  int num_clients = 0;
+  int64_t dim = 0;
+};
+
+/// \brief A federated optimization method (server + client logic).
+///
+/// Thread-safety contract: `ClientUpdate` is called concurrently for
+/// *distinct* client ids within a round. Implementations may freely read
+/// server-side state (it is only mutated in `ServerUpdate`) and may write
+/// per-client state slots for their own client id.
+class FederatedAlgorithm {
+ public:
+  virtual ~FederatedAlgorithm() = default;
+
+  /// Display name, e.g. "FedADMM".
+  virtual std::string name() const = 0;
+
+  /// Called once before round 0 with the initial global model θ⁰.
+  virtual void Setup(const AlgorithmContext& ctx,
+                     std::span<const float> theta0) = 0;
+
+  /// Executes the local work of `client_id` for round `round` given the
+  /// downloaded global model `theta`, producing the upload message.
+  /// `rng` is a per-(round, client) forked stream.
+  virtual UpdateMessage ClientUpdate(int client_id, int round,
+                                     std::span<const float> theta,
+                                     LocalProblem* problem, Rng rng) = 0;
+
+  /// Aggregates the round's messages into the global model, in place.
+  virtual void ServerUpdate(const std::vector<UpdateMessage>& updates,
+                            int round, std::vector<float>* theta) = 0;
+
+  /// Bytes each selected client downloads per round (θ, plus any extra
+  /// server state the method broadcasts — SCAFFOLD's control variate).
+  virtual int64_t DownloadBytesPerClient() const {
+    return dim_ * static_cast<int64_t>(sizeof(float));
+  }
+
+ protected:
+  /// Cached from Setup for the default byte accounting.
+  int num_clients_ = 0;
+  int64_t dim_ = 0;
+};
+
+}  // namespace fedadmm
+
+#endif  // FEDADMM_FL_ALGORITHM_H_

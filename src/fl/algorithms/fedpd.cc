@@ -1,0 +1,77 @@
+#include "fl/algorithms/fedpd.h"
+
+#include "tensor/vec.h"
+
+namespace fedadmm {
+
+void FedPd::Setup(const AlgorithmContext& ctx,
+                  std::span<const float> theta0) {
+  num_clients_ = ctx.num_clients;
+  dim_ = ctx.dim;
+  w_.assign(static_cast<size_t>(ctx.num_clients),
+            std::vector<float>(theta0.begin(), theta0.end()));
+  y_.assign(static_cast<size_t>(ctx.num_clients),
+            std::vector<float>(static_cast<size_t>(ctx.dim), 0.0f));
+  comm_rounds_ = 0;
+  // Decide the first round's communication coin up front; subsequent coins
+  // are flipped in ServerUpdate so ClientUpdate can see a consistent value.
+  communicate_this_round_ = coin_rng_.Bernoulli(comm_probability_);
+}
+
+UpdateMessage FedPd::ClientUpdate(int client_id, int round,
+                                  std::span<const float> theta,
+                                  LocalProblem* problem, Rng rng) {
+  (void)round;
+  std::vector<float>& w = w_[static_cast<size_t>(client_id)];
+  std::vector<float>& y = y_[static_cast<size_t>(client_id)];
+  const float rho = rho_;
+
+  // Warm-start from the stored local model; anchor to the *current* θ.
+  auto transform = [&y, rho, theta](std::span<const float> w_now,
+                                    std::span<float> grad) {
+    const size_t n = grad.size();
+    for (size_t i = 0; i < n; ++i) {
+      grad[i] += y[i] + rho * (w_now[i] - theta[i]);
+    }
+  };
+  const int epochs = SampleEpochs(local_, &rng);
+  const LocalSolveResult result =
+      RunLocalSgd(problem, local_, epochs, w, &rng, transform);
+  // Dual ascent: y_i += ρ (w_i − θ).
+  for (size_t i = 0; i < y.size(); ++i) {
+    y[i] += rho * (w[i] - theta[i]);
+  }
+
+  UpdateMessage msg;
+  msg.client_id = client_id;
+  msg.train_loss = result.mean_loss;
+  msg.epochs_run = result.epochs_run;
+  msg.steps_run = result.steps_run;
+  msg.final_grad_norm_sq = result.final_grad_norm_sq;
+  if (communicate_this_round_) {
+    // Upload the augmented model w_i + y_i/ρ for global averaging.
+    msg.delta.resize(w.size());
+    for (size_t i = 0; i < w.size(); ++i) {
+      msg.delta[i] = w[i] + y[i] / rho;
+    }
+  }
+  return msg;
+}
+
+void FedPd::ServerUpdate(const std::vector<UpdateMessage>& updates, int round,
+                         std::vector<float>* theta) {
+  (void)round;
+  if (communicate_this_round_) {
+    FEDADMM_CHECK_MSG(static_cast<int>(updates.size()) == num_clients_,
+                      "FedPD requires full participation");
+    vec::Zero(*theta);
+    const float inv_m = 1.0f / static_cast<float>(num_clients_);
+    for (const UpdateMessage& msg : updates) {
+      vec::Axpy(inv_m, msg.delta, *theta);
+    }
+    ++comm_rounds_;
+  }
+  communicate_this_round_ = coin_rng_.Bernoulli(comm_probability_);
+}
+
+}  // namespace fedadmm

@@ -1,0 +1,40 @@
+#include "fl/algorithms/fedsgd.h"
+
+#include "tensor/vec.h"
+
+namespace fedadmm {
+
+void FedSgd::Setup(const AlgorithmContext& ctx,
+                   std::span<const float> theta0) {
+  (void)theta0;
+  num_clients_ = ctx.num_clients;
+  dim_ = ctx.dim;
+}
+
+UpdateMessage FedSgd::ClientUpdate(int client_id, int round,
+                                   std::span<const float> theta,
+                                   LocalProblem* problem, Rng rng) {
+  (void)round;
+  (void)rng;
+  UpdateMessage msg;
+  msg.client_id = client_id;
+  msg.delta.resize(theta.size());
+  msg.train_loss = problem->FullLossGradient(theta, msg.delta);
+  msg.epochs_run = 0;
+  msg.steps_run = 1;
+  msg.final_grad_norm_sq = vec::SquaredL2Norm(msg.delta);
+  return msg;
+}
+
+void FedSgd::ServerUpdate(const std::vector<UpdateMessage>& updates,
+                          int round, std::vector<float>* theta) {
+  (void)round;
+  FEDADMM_CHECK(!updates.empty());
+  const float step =
+      -learning_rate_ / static_cast<float>(updates.size());
+  for (const UpdateMessage& msg : updates) {
+    vec::Axpy(step, msg.delta, *theta);
+  }
+}
+
+}  // namespace fedadmm

@@ -1,0 +1,78 @@
+#include "fl/algorithms/scaffold.h"
+
+#include "tensor/vec.h"
+
+namespace fedadmm {
+
+void Scaffold::Setup(const AlgorithmContext& ctx,
+                     std::span<const float> theta0) {
+  (void)theta0;
+  num_clients_ = ctx.num_clients;
+  dim_ = ctx.dim;
+  server_c_.assign(static_cast<size_t>(dim_), 0.0f);
+  client_c_.assign(static_cast<size_t>(ctx.num_clients),
+                   std::vector<float>(static_cast<size_t>(dim_), 0.0f));
+}
+
+UpdateMessage Scaffold::ClientUpdate(int client_id, int round,
+                                     std::span<const float> theta,
+                                     LocalProblem* problem, Rng rng) {
+  (void)round;
+  std::vector<float>& c_i = client_c_[static_cast<size_t>(client_id)];
+  const std::vector<float>& c = server_c_;
+
+  std::vector<float> w(theta.begin(), theta.end());
+  const int epochs = SampleEpochs(local_, &rng);
+  // grad += c - c_i (variance-reduction correction).
+  auto transform = [&c, &c_i](std::span<const float> w_now,
+                              std::span<float> grad) {
+    (void)w_now;
+    const size_t n = grad.size();
+    for (size_t i = 0; i < n; ++i) grad[i] += c[i] - c_i[i];
+  };
+  const LocalSolveResult result =
+      RunLocalSgd(problem, local_, epochs, w, &rng, transform);
+
+  UpdateMessage msg;
+  msg.client_id = client_id;
+  msg.delta.resize(theta.size());
+  vec::Sub(w, theta, msg.delta);
+
+  // Option II control refresh: c_i+ = c_i - c + (θ - w+) / (K η_l).
+  const float k_steps = static_cast<float>(std::max(1, result.steps_run));
+  const float inv = 1.0f / (k_steps * local_.learning_rate);
+  std::vector<float> c_i_new(c_i.size());
+  for (size_t i = 0; i < c_i.size(); ++i) {
+    c_i_new[i] = c_i[i] - c[i] + (theta[i] - w[i]) * inv;
+  }
+  msg.delta2.resize(c_i.size());
+  vec::Sub(c_i_new, c_i, msg.delta2);
+  c_i = std::move(c_i_new);
+
+  msg.train_loss = result.mean_loss;
+  msg.epochs_run = result.epochs_run;
+  msg.steps_run = result.steps_run;
+  msg.final_grad_norm_sq = result.final_grad_norm_sq;
+  return msg;
+}
+
+void Scaffold::ServerUpdate(const std::vector<UpdateMessage>& updates,
+                            int round, std::vector<float>* theta) {
+  (void)round;
+  FEDADMM_CHECK(!updates.empty());
+  const float inv_s = 1.0f / static_cast<float>(updates.size());
+  // θ += η_g * avg(Δw)
+  for (const UpdateMessage& msg : updates) {
+    vec::Axpy(server_lr_ * inv_s, msg.delta, *theta);
+  }
+  // c += (|S|/m) * avg(Δc)
+  const float scale = static_cast<float>(updates.size()) /
+                      static_cast<float>(num_clients_) * inv_s;
+  for (const UpdateMessage& msg : updates) {
+    FEDADMM_CHECK_MSG(!msg.delta2.empty(),
+                      "SCAFFOLD requires control deltas in messages");
+    vec::Axpy(scale, msg.delta2, server_c_);
+  }
+}
+
+}  // namespace fedadmm

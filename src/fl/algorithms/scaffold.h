@@ -1,0 +1,58 @@
+/// \file scaffold.h
+/// \brief SCAFFOLD baseline (Karimireddy et al., ICML 2020).
+
+#ifndef FEDADMM_FL_ALGORITHMS_SCAFFOLD_H_
+#define FEDADMM_FL_ALGORITHMS_SCAFFOLD_H_
+
+#include "fl/algorithm.h"
+#include "fl/local_solver.h"
+
+namespace fedadmm {
+
+/// \brief Stochastic controlled averaging with client/server control
+/// variates.
+///
+/// Client steps follow w ← w − η_l (∇f_i(w, b) − c_i + c); after K steps the
+/// client control is refreshed with option II of the SCAFFOLD paper,
+/// c_i⁺ = c_i − c + (θ − w⁺) / (K η_l), and the client uploads *two* vectors
+/// (Δw, Δc) — doubling upload size relative to FedAvg/Prox/ADMM, which the
+/// byte accounting and DownloadBytesPerClient reflect (clients also fetch
+/// the server control c). Controls are zero-initialized as the paper
+/// recommends; epochs are fixed at E (no system-heterogeneity variant, per
+/// the paper's setup).
+class Scaffold : public FederatedAlgorithm {
+ public:
+  Scaffold(const LocalTrainSpec& local, float server_lr = 1.0f)
+      : local_(local), server_lr_(server_lr) {}
+
+  std::string name() const override { return "SCAFFOLD"; }
+  void Setup(const AlgorithmContext& ctx,
+             std::span<const float> theta0) override;
+  UpdateMessage ClientUpdate(int client_id, int round,
+                             std::span<const float> theta,
+                             LocalProblem* problem, Rng rng) override;
+  void ServerUpdate(const std::vector<UpdateMessage>& updates, int round,
+                    std::vector<float>* theta) override;
+
+  /// θ and c are both broadcast: 2d floats.
+  int64_t DownloadBytesPerClient() const override {
+    return 2 * dim_ * static_cast<int64_t>(sizeof(float));
+  }
+
+  /// Server control variate (tests).
+  const std::vector<float>& server_control() const { return server_c_; }
+  /// Client control variate (tests).
+  const std::vector<float>& client_control(int i) const {
+    return client_c_[static_cast<size_t>(i)];
+  }
+
+ private:
+  LocalTrainSpec local_;
+  float server_lr_;
+  std::vector<float> server_c_;
+  std::vector<std::vector<float>> client_c_;
+};
+
+}  // namespace fedadmm
+
+#endif  // FEDADMM_FL_ALGORITHMS_SCAFFOLD_H_

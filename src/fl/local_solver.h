@@ -1,0 +1,74 @@
+/// \file local_solver.h
+/// \brief Shared local SGD loop used by FedAvg, FedProx and FedADMM.
+///
+/// All three methods run the same minibatch SGD over the client's data; they
+/// differ only in the extra term added to the batch gradient:
+///   * FedAvg:   g
+///   * FedProx:  g + ρ(w − θ)
+///   * FedADMM:  g + y + ρ(w − θ)       (Alg. 1, line 17)
+/// The extra term is injected through `GradientTransform`, which also makes
+/// the paper's reduction claims directly testable: with the transforms
+/// aligned, the three solvers produce identical iterates given identical
+/// batch sequences (Section III-B).
+
+#ifndef FEDADMM_FL_LOCAL_SOLVER_H_
+#define FEDADMM_FL_LOCAL_SOLVER_H_
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "fl/problem.h"
+
+namespace fedadmm {
+
+/// \brief Hyperparameters of the local training loop.
+struct LocalTrainSpec {
+  /// Client learning rate η_i.
+  float learning_rate = 0.1f;
+  /// Minibatch size B; <= 0 means full batch (paper's B = ∞).
+  int batch_size = 10;
+  /// Maximum local epochs E.
+  int max_epochs = 5;
+  /// System heterogeneity (Section V-A): when true, each selected client
+  /// runs U{1, ..., max_epochs} epochs instead of exactly max_epochs.
+  bool variable_epochs = false;
+  /// Optional inexactness target ε of Eq. (6): when > 0, local training
+  /// stops after any epoch where the squared norm of the full transformed
+  /// gradient is <= epsilon (checked at epoch granularity).
+  double epsilon = -1.0;
+};
+
+/// Adds the algorithm-specific term to the batch gradient, in place.
+/// Receives the current local iterate `w` and the batch gradient `grad`.
+using GradientTransform =
+    std::function<void(std::span<const float> w, std::span<float> grad)>;
+
+/// \brief Outcome of a local solve.
+struct LocalSolveResult {
+  /// Mean batch loss over the final epoch (the paper reports train loss).
+  double mean_loss = 0.0;
+  int epochs_run = 0;
+  int steps_run = 0;
+  /// Squared norm of the transformed gradient at the final iterate,
+  /// evaluated on the full local data — the attained ε_i of Eq. (6).
+  double final_grad_norm_sq = 0.0;
+};
+
+/// \brief Runs epochs of minibatch SGD on `problem`, updating `w` in place.
+///
+/// `epochs` is the resolved epoch count for this round (callers sample it
+/// when `variable_epochs` is on). If `spec.epsilon > 0`, training may stop
+/// earlier once the inexactness criterion is met. The final gradient norm
+/// is always measured so callers can report attained inexactness.
+LocalSolveResult RunLocalSgd(LocalProblem* problem, const LocalTrainSpec& spec,
+                             int epochs, std::span<float> w, Rng* rng,
+                             const GradientTransform& transform);
+
+/// \brief Resolves the epoch count for one (round, client) pair: either the
+/// fixed `spec.max_epochs` or U{1..max_epochs} under system heterogeneity.
+int SampleEpochs(const LocalTrainSpec& spec, Rng* rng);
+
+}  // namespace fedadmm
+
+#endif  // FEDADMM_FL_LOCAL_SOLVER_H_

@@ -1,0 +1,64 @@
+/// \file nn_problem.h
+/// \brief FederatedProblem backed by a neural network and a partitioned
+/// dataset — the setting of all the paper's experiments.
+
+#ifndef FEDADMM_FL_NN_PROBLEM_H_
+#define FEDADMM_FL_NN_PROBLEM_H_
+
+#include <memory>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/partition.h"
+#include "fl/problem.h"
+#include "nn/model_zoo.h"
+
+namespace fedadmm {
+
+/// \brief Neural-network federated problem.
+///
+/// Holds per-worker model clones so that rounds can train clients in
+/// parallel; all clones share the architecture, and parameters are loaded
+/// from the flat vector on every batch, so clones never drift.
+class NnFederatedProblem : public FederatedProblem {
+ public:
+  /// `train`/`test` must outlive the problem. `partition[i]` lists the
+  /// training indices of client i.
+  NnFederatedProblem(const ModelConfig& model_config, const Dataset* train,
+                     const Dataset* test, Partition partition,
+                     int num_workers);
+
+  int num_clients() const override {
+    return static_cast<int>(partition_.size());
+  }
+  int64_t dim() const override { return dim_; }
+  int num_workers() const override {
+    return static_cast<int>(models_.size());
+  }
+
+  std::unique_ptr<LocalProblem> MakeLocalProblem(int client,
+                                                 int worker) override;
+  EvalResult Evaluate(std::span<const float> theta, int worker) override;
+  std::vector<float> InitialParameters(Rng* rng) override;
+
+  /// Batch size used when streaming the test set through the model.
+  void set_eval_batch_size(int n) { eval_batch_size_ = n; }
+
+  /// The client views (for inspection/tests).
+  const ClientView& client_view(int i) const {
+    return views_[static_cast<size_t>(i)];
+  }
+
+ private:
+  const Dataset* train_;
+  const Dataset* test_;
+  Partition partition_;
+  std::vector<ClientView> views_;
+  std::vector<std::unique_ptr<Model>> models_;  // one per worker
+  int64_t dim_ = 0;
+  int eval_batch_size_ = 256;
+};
+
+}  // namespace fedadmm
+
+#endif  // FEDADMM_FL_NN_PROBLEM_H_

@@ -1,0 +1,85 @@
+/// \file problem.h
+/// \brief Abstractions separating federated *algorithms* from federated
+/// *problems*.
+///
+/// A `FederatedProblem` owns the data and loss landscape: it can build a
+/// `LocalProblem` for any client (the view a selected client trains on) and
+/// can evaluate a flat parameter vector on held-out data. Algorithms
+/// (FedAvg, FedADMM, ...) only ever see flat vectors and `LocalProblem`
+/// gradients, so the same algorithm code runs on deep CNNs and on analytic
+/// quadratic objectives (used for convergence validation).
+
+#ifndef FEDADMM_FL_PROBLEM_H_
+#define FEDADMM_FL_PROBLEM_H_
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "fl/types.h"
+#include "util/rng.h"
+
+namespace fedadmm {
+
+/// \brief A client's local objective f_i, exposed through batch gradients.
+class LocalProblem {
+ public:
+  virtual ~LocalProblem() = default;
+
+  /// Parameter dimension d.
+  virtual int64_t dim() const = 0;
+
+  /// Number of local samples n_i.
+  virtual int num_samples() const = 0;
+
+  /// Computes the mean loss over `batch` at parameters `w` and writes the
+  /// gradient of that mean loss into `grad` (overwritten, size d).
+  virtual double BatchLossGradient(std::span<const float> w,
+                                   const std::vector<int>& batch,
+                                   std::span<float> grad) = 0;
+
+  /// Minibatch index lists for one local epoch. `batch_size <= 0` means one
+  /// full batch (paper's B = ∞).
+  virtual std::vector<std::vector<int>> EpochBatches(int batch_size,
+                                                     Rng* rng) = 0;
+
+  /// Loss and gradient over all local data (used by FedSGD and by the
+  /// inexactness check of Eq. (6)).
+  virtual double FullLossGradient(std::span<const float> w,
+                                  std::span<float> grad) = 0;
+};
+
+/// \brief The global learning task: clients plus held-out evaluation.
+///
+/// Implementations must support concurrent `MakeLocalProblem` /
+/// local-problem usage for *distinct* `worker` slots (the simulator trains
+/// selected clients in parallel, one worker slot per thread).
+class FederatedProblem {
+ public:
+  virtual ~FederatedProblem() = default;
+
+  /// Number of clients m.
+  virtual int num_clients() const = 0;
+
+  /// Parameter dimension d.
+  virtual int64_t dim() const = 0;
+
+  /// Number of worker slots usable concurrently.
+  virtual int num_workers() const = 0;
+
+  /// Builds the local view of `client` bound to `worker`'s scratch
+  /// resources. The returned object is only valid while no other local
+  /// problem uses the same worker slot.
+  virtual std::unique_ptr<LocalProblem> MakeLocalProblem(int client,
+                                                         int worker) = 0;
+
+  /// Evaluates parameters on the held-out set using `worker`'s resources.
+  virtual EvalResult Evaluate(std::span<const float> theta, int worker) = 0;
+
+  /// Draws the initial global model θ⁰.
+  virtual std::vector<float> InitialParameters(Rng* rng) = 0;
+};
+
+}  // namespace fedadmm
+
+#endif  // FEDADMM_FL_PROBLEM_H_

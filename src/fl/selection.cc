@@ -1,0 +1,67 @@
+#include "fl/selection.h"
+
+#include <cmath>
+
+#include "util/status.h"
+
+namespace fedadmm {
+
+UniformFractionSelector::UniformFractionSelector(int num_clients,
+                                                 double fraction)
+    : num_clients_(num_clients), fraction_(fraction) {
+  FEDADMM_CHECK_MSG(num_clients >= 1, "need at least one client");
+  FEDADMM_CHECK_MSG(fraction > 0.0 && fraction <= 1.0,
+                    "fraction must be in (0, 1]");
+  clients_per_round_ = std::max(
+      1, static_cast<int>(std::lround(fraction * num_clients)));
+  clients_per_round_ = std::min(clients_per_round_, num_clients_);
+}
+
+std::vector<int> UniformFractionSelector::Select(int round, Rng* rng) {
+  (void)round;
+  return rng->SampleWithoutReplacement(num_clients_, clients_per_round_)
+      .ValueOrDie();
+}
+
+std::string UniformFractionSelector::name() const {
+  return "UniformFraction(C=" + std::to_string(fraction_) + ")";
+}
+
+BernoulliSelector::BernoulliSelector(std::vector<double> probabilities)
+    : probabilities_(std::move(probabilities)) {
+  FEDADMM_CHECK_MSG(!probabilities_.empty(), "need at least one client");
+  for (double p : probabilities_) {
+    FEDADMM_CHECK_MSG(p > 0.0 && p <= 1.0,
+                      "participation probabilities must be in (0, 1]");
+  }
+}
+
+std::vector<int> BernoulliSelector::Select(int round, Rng* rng) {
+  (void)round;
+  std::vector<int> selected;
+  // Redraw on an empty set: the analysis needs progress every round, and
+  // P(empty) > 0 for small probabilities.
+  while (selected.empty()) {
+    for (size_t i = 0; i < probabilities_.size(); ++i) {
+      if (rng->Bernoulli(probabilities_[i])) {
+        selected.push_back(static_cast<int>(i));
+      }
+    }
+  }
+  return selected;
+}
+
+FullParticipationSelector::FullParticipationSelector(int num_clients)
+    : num_clients_(num_clients) {
+  FEDADMM_CHECK_MSG(num_clients >= 1, "need at least one client");
+}
+
+std::vector<int> FullParticipationSelector::Select(int round, Rng* rng) {
+  (void)round;
+  (void)rng;
+  std::vector<int> all(static_cast<size_t>(num_clients_));
+  for (int i = 0; i < num_clients_; ++i) all[static_cast<size_t>(i)] = i;
+  return all;
+}
+
+}  // namespace fedadmm

@@ -1,0 +1,86 @@
+/// \file selection.h
+/// \brief Client activation schemes.
+///
+/// The paper's experiments select a uniform fraction C = 0.1 of clients per
+/// round. The analysis (Remark 2) only requires infinitely-often
+/// participation, so a Bernoulli scheme with per-client probabilities is
+/// also provided, along with full participation (needed by FedPD).
+
+#ifndef FEDADMM_FL_SELECTION_H_
+#define FEDADMM_FL_SELECTION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace fedadmm {
+
+/// \brief Strategy choosing the active set S_t each round.
+class ClientSelector {
+ public:
+  virtual ~ClientSelector() = default;
+
+  /// Returns the (non-empty) set of active client ids for round `round`.
+  virtual std::vector<int> Select(int round, Rng* rng) = 0;
+
+  /// Total client count m.
+  virtual int num_clients() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// \brief Uniformly samples max(1, round(C*m)) clients without replacement
+/// (the paper's scheme with C = 0.1).
+class UniformFractionSelector : public ClientSelector {
+ public:
+  UniformFractionSelector(int num_clients, double fraction);
+
+  std::vector<int> Select(int round, Rng* rng) override;
+  int num_clients() const override { return num_clients_; }
+  std::string name() const override;
+
+  /// Clients per round |S_t|.
+  int clients_per_round() const { return clients_per_round_; }
+
+ private:
+  int num_clients_;
+  double fraction_;
+  int clients_per_round_;
+};
+
+/// \brief Independent Bernoulli participation with per-client probabilities
+/// (arbitrary activation per Remark 2). Redraws if the set comes up empty so
+/// that every round makes progress.
+class BernoulliSelector : public ClientSelector {
+ public:
+  /// `probabilities[i]` in (0, 1] is client i's participation probability.
+  explicit BernoulliSelector(std::vector<double> probabilities);
+
+  std::vector<int> Select(int round, Rng* rng) override;
+  int num_clients() const override {
+    return static_cast<int>(probabilities_.size());
+  }
+  std::string name() const override { return "Bernoulli"; }
+
+ private:
+  std::vector<double> probabilities_;
+};
+
+/// \brief All clients participate every round (FedPD's requirement).
+class FullParticipationSelector : public ClientSelector {
+ public:
+  explicit FullParticipationSelector(int num_clients);
+
+  std::vector<int> Select(int round, Rng* rng) override;
+  int num_clients() const override { return num_clients_; }
+  std::string name() const override { return "FullParticipation"; }
+
+ private:
+  int num_clients_;
+};
+
+}  // namespace fedadmm
+
+#endif  // FEDADMM_FL_SELECTION_H_

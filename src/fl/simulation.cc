@@ -1,0 +1,113 @@
+#include "fl/simulation.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace fedadmm {
+
+Simulation::Simulation(FederatedProblem* problem,
+                       FederatedAlgorithm* algorithm,
+                       ClientSelector* selector, SimulationConfig config)
+    : problem_(problem),
+      algorithm_(algorithm),
+      selector_(selector),
+      config_(config) {
+  FEDADMM_CHECK(problem_ != nullptr && algorithm_ != nullptr &&
+                selector_ != nullptr);
+}
+
+Result<History> Simulation::Run() {
+  if (config_.max_rounds <= 0) {
+    return Status::InvalidArgument("Simulation: max_rounds must be > 0");
+  }
+  if (selector_->num_clients() != problem_->num_clients()) {
+    return Status::InvalidArgument(
+        "Simulation: selector and problem disagree on client count");
+  }
+  if (config_.eval_every < 1) {
+    return Status::InvalidArgument("Simulation: eval_every must be >= 1");
+  }
+
+  Rng master(config_.seed);
+  Rng selection_rng = master.Fork(0x5E1EC7);
+  Rng init_rng = master.Fork(0x1417);
+
+  theta_ = problem_->InitialParameters(&init_rng);
+  AlgorithmContext ctx;
+  ctx.num_clients = problem_->num_clients();
+  ctx.dim = problem_->dim();
+  algorithm_->Setup(ctx, theta_);
+
+  // Pool sizing: no point in more threads than a round has clients or the
+  // problem has worker slots.
+  int threads = config_.num_threads;
+  if (threads <= 0) threads = ThreadPool::DefaultNumThreads();
+  threads = std::min(threads, problem_->num_workers());
+  threads = std::max(threads, 1);
+  ThreadPool pool(threads);
+
+  History history;
+  for (int round = 0; round < config_.max_rounds; ++round) {
+    Stopwatch watch;
+    const std::vector<int> selected = selector_->Select(round, &selection_rng);
+    FEDADMM_CHECK_MSG(!selected.empty(), "selector returned empty set");
+
+    std::vector<UpdateMessage> updates(selected.size());
+    pool.ParallelFor(
+        static_cast<int>(selected.size()), [&](int idx, int worker) {
+          const int client = selected[static_cast<size_t>(idx)];
+          auto local = problem_->MakeLocalProblem(client, worker);
+          // Per-(round, client) stream: results do not depend on thread
+          // scheduling.
+          Rng client_rng = master.Fork(0xC11E47, static_cast<uint64_t>(round),
+                                       static_cast<uint64_t>(client));
+          updates[static_cast<size_t>(idx)] = algorithm_->ClientUpdate(
+              client, round, theta_, local.get(), client_rng);
+        });
+
+    algorithm_->ServerUpdate(updates, round, &theta_);
+
+    RoundRecord record;
+    record.round = round;
+    record.num_selected = static_cast<int>(selected.size());
+    double loss_sum = 0.0;
+    int64_t upload = 0;
+    for (const UpdateMessage& msg : updates) {
+      loss_sum += msg.train_loss;
+      upload += msg.UploadBytes();
+    }
+    record.train_loss = loss_sum / static_cast<double>(updates.size());
+    record.upload_bytes = upload;
+    record.download_bytes = static_cast<int64_t>(selected.size()) *
+                            algorithm_->DownloadBytesPerClient();
+
+    const bool last_round = (round == config_.max_rounds - 1);
+    const bool evaluate = last_round || (round % config_.eval_every == 0);
+    if (evaluate) {
+      const EvalResult eval = problem_->Evaluate(theta_, /*worker=*/0);
+      record.test_accuracy = eval.accuracy;
+      record.test_loss = eval.loss;
+    } else {
+      record.test_accuracy = std::numeric_limits<double>::quiet_NaN();
+      record.test_loss = std::numeric_limits<double>::quiet_NaN();
+    }
+    record.wall_seconds = watch.ElapsedSeconds();
+    history.Add(record);
+    if (observer_) observer_(record);
+    if (config_.log_rounds && evaluate) {
+      FEDADMM_LOG(Info) << algorithm_->name() << " round " << round
+                        << " acc=" << record.test_accuracy
+                        << " loss=" << record.train_loss;
+    }
+    if (evaluate && config_.target_accuracy > 0.0 &&
+        record.test_accuracy >= config_.target_accuracy) {
+      break;
+    }
+  }
+  return history;
+}
+
+}  // namespace fedadmm

@@ -1,0 +1,74 @@
+/// \file simulation.h
+/// \brief The federated training loop (Fig. 1 / Fig. 2 of the paper).
+///
+/// Each round: the selector draws S_t, the selected clients run
+/// `algorithm->ClientUpdate` in parallel (one worker slot per thread),
+/// the server aggregates via `algorithm->ServerUpdate`, communication is
+/// accounted, and the global model is evaluated on the test set.
+
+#ifndef FEDADMM_FL_SIMULATION_H_
+#define FEDADMM_FL_SIMULATION_H_
+
+#include <functional>
+#include <memory>
+
+#include "fl/algorithm.h"
+#include "fl/problem.h"
+#include "fl/selection.h"
+#include "fl/types.h"
+#include "util/thread_pool.h"
+
+namespace fedadmm {
+
+/// \brief Run-level knobs of the simulator.
+struct SimulationConfig {
+  /// Maximum number of rounds T.
+  int max_rounds = 100;
+  /// Stop early once test accuracy reaches this value (disabled if <= 0).
+  double target_accuracy = -1.0;
+  /// Evaluate every k-th round (1 = every round). The final round is always
+  /// evaluated.
+  int eval_every = 1;
+  /// Master seed: drives selection and all per-(round, client) streams.
+  uint64_t seed = 1;
+  /// Worker threads for the client phase; <= 0 picks
+  /// min(hardware_concurrency, clients per round).
+  int num_threads = 0;
+  /// Emit an INFO log line per evaluated round.
+  bool log_rounds = false;
+};
+
+/// \brief Optional per-round observer (round index, record) — benches use it
+/// to stream convergence paths.
+using RoundObserver = std::function<void(const RoundRecord&)>;
+
+/// \brief Runs one federated training session.
+class Simulation {
+ public:
+  /// All pointers are borrowed and must outlive the simulation.
+  Simulation(FederatedProblem* problem, FederatedAlgorithm* algorithm,
+             ClientSelector* selector, SimulationConfig config);
+
+  /// Executes up to `max_rounds` rounds; returns the history.
+  Result<History> Run();
+
+  /// Installs a per-round observer.
+  void set_observer(RoundObserver observer) {
+    observer_ = std::move(observer);
+  }
+
+  /// Final global model (valid after Run).
+  const std::vector<float>& theta() const { return theta_; }
+
+ private:
+  FederatedProblem* problem_;
+  FederatedAlgorithm* algorithm_;
+  ClientSelector* selector_;
+  SimulationConfig config_;
+  RoundObserver observer_;
+  std::vector<float> theta_;
+};
+
+}  // namespace fedadmm
+
+#endif  // FEDADMM_FL_SIMULATION_H_

@@ -1,0 +1,61 @@
+#include "fl/types.h"
+
+#include <cmath>
+
+#include "util/csv.h"
+
+namespace fedadmm {
+
+int History::RoundsToAccuracy(double target) const {
+  for (const RoundRecord& r : records_) {
+    if (!std::isnan(r.test_accuracy) && r.test_accuracy >= target) {
+      return r.round + 1;  // rounds are 0-based internally; count is 1-based
+    }
+  }
+  return -1;
+}
+
+double History::FinalAccuracy() const {
+  for (auto it = records_.rbegin(); it != records_.rend(); ++it) {
+    if (!std::isnan(it->test_accuracy)) return it->test_accuracy;
+  }
+  return 0.0;
+}
+
+double History::BestAccuracy() const {
+  double best = 0.0;
+  for (const RoundRecord& r : records_) {
+    if (!std::isnan(r.test_accuracy)) best = std::max(best, r.test_accuracy);
+  }
+  return best;
+}
+
+int64_t History::TotalUploadBytes() const {
+  int64_t total = 0;
+  for (const RoundRecord& r : records_) total += r.upload_bytes;
+  return total;
+}
+
+int64_t History::TotalDownloadBytes() const {
+  int64_t total = 0;
+  for (const RoundRecord& r : records_) total += r.download_bytes;
+  return total;
+}
+
+Status History::WriteCsv(const std::string& path) const {
+  CsvWriter writer;
+  FEDADMM_RETURN_IF_ERROR(writer.Open(path));
+  FEDADMM_RETURN_IF_ERROR(writer.WriteRow(
+      {"round", "num_selected", "train_loss", "test_accuracy", "test_loss",
+       "upload_bytes", "download_bytes", "wall_seconds"}));
+  for (const RoundRecord& r : records_) {
+    FEDADMM_RETURN_IF_ERROR(writer.WriteNumericRow(
+        {static_cast<double>(r.round), static_cast<double>(r.num_selected),
+         r.train_loss, r.test_accuracy, r.test_loss,
+         static_cast<double>(r.upload_bytes),
+         static_cast<double>(r.download_bytes), r.wall_seconds}));
+  }
+  return writer.Close();
+}
+
+}  // namespace fedadmm

@@ -1,0 +1,104 @@
+/// \file types.h
+/// \brief Shared value types of the federated simulation: update messages,
+/// per-round records, and run histories.
+
+#ifndef FEDADMM_FL_TYPES_H_
+#define FEDADMM_FL_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace fedadmm {
+
+/// \brief What a selected client uploads to the server in one round.
+///
+/// For FedAvg/FedProx/FedADMM the payload is a single vector in R^d
+/// (`delta`); SCAFFOLD additionally uploads a control-variate delta
+/// (`delta2`), doubling its upload size — the accounting reflects that.
+struct UpdateMessage {
+  int client_id = -1;
+  /// Primary payload (model delta, gradient, or augmented-model delta Δ_i).
+  std::vector<float> delta;
+  /// Secondary payload (SCAFFOLD control delta); empty otherwise.
+  std::vector<float> delta2;
+
+  /// Diagnostics (not part of the transmitted payload).
+  double train_loss = 0.0;
+  int epochs_run = 0;
+  int steps_run = 0;
+  /// Squared norm of the final local (transformed) gradient — the
+  /// inexactness measure ε_i of Eq. (6) actually attained.
+  double final_grad_norm_sq = 0.0;
+
+  /// Bytes uploaded by this client (float32 payloads).
+  int64_t UploadBytes() const {
+    return static_cast<int64_t>((delta.size() + delta2.size()) *
+                                sizeof(float));
+  }
+};
+
+/// \brief One row of a training run's history.
+struct RoundRecord {
+  int round = 0;
+  int num_selected = 0;
+  /// Mean training loss reported by the selected clients.
+  double train_loss = 0.0;
+  /// Global test metrics (NaN when evaluation was skipped this round).
+  double test_accuracy = 0.0;
+  double test_loss = 0.0;
+  /// Communication this round.
+  int64_t upload_bytes = 0;
+  int64_t download_bytes = 0;
+  /// Wall-clock duration of the round (client phase + aggregation + eval).
+  double wall_seconds = 0.0;
+};
+
+/// \brief The full trajectory of one federated run.
+class History {
+ public:
+  /// Appends a record.
+  void Add(const RoundRecord& record) { records_.push_back(record); }
+
+  /// All records.
+  const std::vector<RoundRecord>& records() const { return records_; }
+  /// Number of recorded rounds.
+  int size() const { return static_cast<int>(records_.size()); }
+  bool empty() const { return records_.empty(); }
+
+  /// 1-based number of rounds needed to first reach `target` test accuracy;
+  /// -1 if never reached (the paper prints this as "100+").
+  int RoundsToAccuracy(double target) const;
+
+  /// Test accuracy of the last evaluated round (0 if none).
+  double FinalAccuracy() const;
+
+  /// Best test accuracy across the run (0 if none).
+  double BestAccuracy() const;
+
+  /// Total bytes uploaded across the run.
+  int64_t TotalUploadBytes() const;
+  /// Total bytes downloaded across the run.
+  int64_t TotalDownloadBytes() const;
+
+  /// Writes the history as CSV with a header row.
+  Status WriteCsv(const std::string& path) const;
+
+ private:
+  std::vector<RoundRecord> records_;
+};
+
+/// \brief Result of evaluating a model on held-out data.
+struct EvalResult {
+  /// Top-1 accuracy for classification; a monotone proxy in [0, 1] for
+  /// synthetic convex problems (see QuadraticProblem).
+  double accuracy = 0.0;
+  /// Mean loss / objective value.
+  double loss = 0.0;
+};
+
+}  // namespace fedadmm
+
+#endif  // FEDADMM_FL_TYPES_H_

@@ -1,0 +1,50 @@
+#include "nn/activations.h"
+
+#include <cmath>
+
+#include "tensor/tensor_ops.h"
+
+namespace fedadmm {
+
+Tensor ReLU::Forward(const Tensor& input) {
+  Tensor out = input;
+  mask_.resize(static_cast<size_t>(out.numel()));
+  ops::ReluForward(out.data(), out.numel(), mask_.data());
+  return out;
+}
+
+Tensor ReLU::Backward(const Tensor& grad_output) {
+  FEDADMM_CHECK_MSG(static_cast<size_t>(grad_output.numel()) == mask_.size(),
+                    "ReLU::Backward without matching Forward");
+  Tensor grad_input(grad_output.shape());
+  ops::ReluBackward(grad_output.data(), mask_.data(), grad_output.numel(),
+                    grad_input.data());
+  return grad_input;
+}
+
+std::unique_ptr<Layer> ReLU::Clone() const { return std::make_unique<ReLU>(); }
+
+Tensor Tanh::Forward(const Tensor& input) {
+  Tensor out = input;
+  float* p = out.data();
+  for (int64_t i = 0; i < out.numel(); ++i) p[i] = std::tanh(p[i]);
+  cached_output_ = out;
+  return out;
+}
+
+Tensor Tanh::Backward(const Tensor& grad_output) {
+  FEDADMM_CHECK_MSG(grad_output.numel() == cached_output_.numel(),
+                    "Tanh::Backward without matching Forward");
+  Tensor grad_input(grad_output.shape());
+  const float* g = grad_output.data();
+  const float* y = cached_output_.data();
+  float* out = grad_input.data();
+  for (int64_t i = 0; i < grad_output.numel(); ++i) {
+    out[i] = g[i] * (1.0f - y[i] * y[i]);
+  }
+  return grad_input;
+}
+
+std::unique_ptr<Layer> Tanh::Clone() const { return std::make_unique<Tanh>(); }
+
+}  // namespace fedadmm

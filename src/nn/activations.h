@@ -1,0 +1,47 @@
+/// \file activations.h
+/// \brief Elementwise activation layers.
+
+#ifndef FEDADMM_NN_ACTIVATIONS_H_
+#define FEDADMM_NN_ACTIVATIONS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace fedadmm {
+
+/// \brief Rectified linear unit, applied elementwise to any shape.
+class ReLU : public Layer {
+ public:
+  ReLU() = default;
+
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  Shape OutputShape(const Shape& input) const override { return input; }
+  std::unique_ptr<Layer> Clone() const override;
+  std::string name() const override { return "ReLU"; }
+
+ private:
+  std::vector<uint8_t> mask_;
+};
+
+/// \brief Hyperbolic tangent, applied elementwise to any shape.
+class Tanh : public Layer {
+ public:
+  Tanh() = default;
+
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  Shape OutputShape(const Shape& input) const override { return input; }
+  std::unique_ptr<Layer> Clone() const override;
+  std::string name() const override { return "Tanh"; }
+
+ private:
+  Tensor cached_output_;
+};
+
+}  // namespace fedadmm
+
+#endif  // FEDADMM_NN_ACTIVATIONS_H_

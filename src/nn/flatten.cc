@@ -1,0 +1,27 @@
+#include "nn/flatten.h"
+
+namespace fedadmm {
+
+Shape Flatten::OutputShape(const Shape& input) const {
+  FEDADMM_CHECK_MSG(input.ndim() >= 2, "Flatten: rank must be >= 2");
+  int64_t features = 1;
+  for (int i = 1; i < input.ndim(); ++i) features *= input.dim(i);
+  return Shape({input.dim(0), features});
+}
+
+Tensor Flatten::Forward(const Tensor& input) {
+  cached_input_shape_ = input.shape();
+  return *input.Reshape(OutputShape(input.shape()));
+}
+
+Tensor Flatten::Backward(const Tensor& grad_output) {
+  FEDADMM_CHECK_MSG(grad_output.numel() == cached_input_shape_.numel(),
+                    "Flatten::Backward without matching Forward");
+  return *grad_output.Reshape(cached_input_shape_);
+}
+
+std::unique_ptr<Layer> Flatten::Clone() const {
+  return std::make_unique<Flatten>();
+}
+
+}  // namespace fedadmm

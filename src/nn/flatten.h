@@ -1,0 +1,31 @@
+/// \file flatten.h
+/// \brief Collapses [N, C, H, W] (or any rank >= 2) into [N, features].
+
+#ifndef FEDADMM_NN_FLATTEN_H_
+#define FEDADMM_NN_FLATTEN_H_
+
+#include <memory>
+#include <string>
+
+#include "nn/layer.h"
+
+namespace fedadmm {
+
+/// \brief Reshape layer between the convolutional and dense modules.
+class Flatten : public Layer {
+ public:
+  Flatten() = default;
+
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  Shape OutputShape(const Shape& input) const override;
+  std::unique_ptr<Layer> Clone() const override;
+  std::string name() const override { return "Flatten"; }
+
+ private:
+  Shape cached_input_shape_;
+};
+
+}  // namespace fedadmm
+
+#endif  // FEDADMM_NN_FLATTEN_H_

@@ -1,0 +1,90 @@
+#include "nn/losses.h"
+
+#include <cmath>
+
+#include "tensor/tensor_ops.h"
+#include "util/status.h"
+
+namespace fedadmm {
+
+double SoftmaxCrossEntropyLoss::Forward(const Tensor& logits,
+                                        const std::vector<int>& labels) {
+  FEDADMM_CHECK_MSG(logits.shape().ndim() == 2,
+                    "SoftmaxCrossEntropyLoss: logits must be [N, K]");
+  const int64_t n = logits.shape().dim(0);
+  const int64_t k = logits.shape().dim(1);
+  FEDADMM_CHECK_MSG(static_cast<int64_t>(labels.size()) == n,
+                    "SoftmaxCrossEntropyLoss: labels size mismatch");
+  probs_ = Tensor(logits.shape());
+  ops::SoftmaxRows(logits.data(), n, k, probs_.data());
+  labels_ = labels;
+
+  double loss = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    const int y = labels[static_cast<size_t>(i)];
+    FEDADMM_CHECK_MSG(y >= 0 && y < k, "label out of range");
+    // Clamp to avoid log(0) from float underflow on confident mistakes.
+    const double p = std::max(static_cast<double>(probs_.at(i, y)), 1e-12);
+    loss -= std::log(p);
+  }
+  return loss / static_cast<double>(n);
+}
+
+Tensor SoftmaxCrossEntropyLoss::Backward() const {
+  FEDADMM_CHECK_MSG(probs_.numel() > 0, "Backward before Forward");
+  const int64_t n = probs_.shape().dim(0);
+  Tensor grad = probs_;
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (int64_t i = 0; i < n; ++i) {
+    grad.at(i, labels_[static_cast<size_t>(i)]) -= 1.0f;
+  }
+  float* g = grad.data();
+  for (int64_t i = 0; i < grad.numel(); ++i) g[i] *= inv_n;
+  return grad;
+}
+
+double SoftmaxCrossEntropyLoss::Accuracy(const Tensor& logits,
+                                         const std::vector<int>& labels) {
+  const int64_t n = logits.shape().dim(0);
+  const int64_t k = logits.shape().dim(1);
+  FEDADMM_CHECK(static_cast<int64_t>(labels.size()) == n);
+  if (n == 0) return 0.0;
+  int64_t correct = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    const float* row = logits.data() + i * k;
+    int64_t best = 0;
+    for (int64_t j = 1; j < k; ++j) {
+      if (row[j] > row[best]) best = j;
+    }
+    if (best == labels[static_cast<size_t>(i)]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(n);
+}
+
+double MSELoss::Forward(const Tensor& predictions, const Tensor& targets) {
+  FEDADMM_CHECK_MSG(predictions.shape() == targets.shape(),
+                    "MSELoss: shape mismatch");
+  FEDADMM_CHECK_MSG(predictions.shape().ndim() >= 1, "MSELoss: empty shape");
+  batch_ = predictions.shape().dim(0);
+  residual_ = Tensor(predictions.shape());
+  double acc = 0.0;
+  const float* p = predictions.data();
+  const float* t = targets.data();
+  float* r = residual_.data();
+  for (int64_t i = 0; i < predictions.numel(); ++i) {
+    r[i] = p[i] - t[i];
+    acc += static_cast<double>(r[i]) * r[i];
+  }
+  return 0.5 * acc / static_cast<double>(batch_);
+}
+
+Tensor MSELoss::Backward() const {
+  FEDADMM_CHECK_MSG(batch_ > 0, "Backward before Forward");
+  Tensor grad = residual_;
+  const float inv_n = 1.0f / static_cast<float>(batch_);
+  float* g = grad.data();
+  for (int64_t i = 0; i < grad.numel(); ++i) g[i] *= inv_n;
+  return grad;
+}
+
+}  // namespace fedadmm

@@ -1,0 +1,48 @@
+/// \file losses.h
+/// \brief Training criteria: softmax cross-entropy (classification, used by
+/// every paper experiment) and mean squared error (used for the convex
+/// quadratic validation problems in tests).
+
+#ifndef FEDADMM_NN_LOSSES_H_
+#define FEDADMM_NN_LOSSES_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace fedadmm {
+
+/// \brief Softmax + cross-entropy over logits [N, K] with int labels.
+class SoftmaxCrossEntropyLoss {
+ public:
+  /// Returns the mean negative log-likelihood; caches probabilities.
+  double Forward(const Tensor& logits, const std::vector<int>& labels);
+
+  /// Returns dLoss/dLogits = (softmax - onehot) / N for the cached batch.
+  Tensor Backward() const;
+
+  /// Fraction of argmax predictions equal to the labels (no caching needed).
+  static double Accuracy(const Tensor& logits, const std::vector<int>& labels);
+
+ private:
+  Tensor probs_;
+  std::vector<int> labels_;
+};
+
+/// \brief 0.5 * mean over samples of squared L2 error.
+class MSELoss {
+ public:
+  /// Returns (1/2N) * sum ||pred_i - target_i||^2; caches the residual.
+  double Forward(const Tensor& predictions, const Tensor& targets);
+
+  /// Returns dLoss/dPred = (pred - target) / N for the cached batch.
+  Tensor Backward() const;
+
+ private:
+  Tensor residual_;
+  int64_t batch_ = 0;
+};
+
+}  // namespace fedadmm
+
+#endif  // FEDADMM_NN_LOSSES_H_

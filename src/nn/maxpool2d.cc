@@ -1,0 +1,51 @@
+#include "nn/maxpool2d.h"
+
+#include "tensor/tensor_ops.h"
+
+namespace fedadmm {
+
+MaxPool2d::MaxPool2d(int64_t kernel, int64_t stride)
+    : kernel_(kernel), stride_(stride < 0 ? kernel : stride) {
+  FEDADMM_CHECK_MSG(kernel_ > 0 && stride_ > 0, "MaxPool2d: invalid config");
+}
+
+Shape MaxPool2d::OutputShape(const Shape& input) const {
+  FEDADMM_CHECK_MSG(input.ndim() == 4, "MaxPool2d: expected [N,C,H,W]");
+  const int64_t oh = ops::ConvOutDim(input.dim(2), kernel_, stride_, 0);
+  const int64_t ow = ops::ConvOutDim(input.dim(3), kernel_, stride_, 0);
+  FEDADMM_CHECK_MSG(oh > 0 && ow > 0, "MaxPool2d: output would be empty");
+  return Shape({input.dim(0), input.dim(1), oh, ow});
+}
+
+Tensor MaxPool2d::Forward(const Tensor& input) {
+  const Shape out_shape = OutputShape(input.shape());
+  cached_input_shape_ = input.shape();
+  Tensor output(out_shape);
+  argmax_.resize(static_cast<size_t>(output.numel()));
+  ops::MaxPool2dForward(input.data(), input.shape().dim(0),
+                        input.shape().dim(1), input.shape().dim(2),
+                        input.shape().dim(3), kernel_, stride_, output.data(),
+                        argmax_.data());
+  return output;
+}
+
+Tensor MaxPool2d::Backward(const Tensor& grad_output) {
+  FEDADMM_CHECK_MSG(
+      static_cast<size_t>(grad_output.numel()) == argmax_.size(),
+      "MaxPool2d::Backward without matching Forward");
+  Tensor grad_input(cached_input_shape_);  // zero-initialized
+  ops::MaxPool2dBackward(grad_output.data(), argmax_.data(),
+                         grad_output.numel(), grad_input.data());
+  return grad_input;
+}
+
+std::unique_ptr<Layer> MaxPool2d::Clone() const {
+  return std::make_unique<MaxPool2d>(kernel_, stride_);
+}
+
+std::string MaxPool2d::name() const {
+  return "MaxPool2d(" + std::to_string(kernel_) + "x" +
+         std::to_string(kernel_) + ", stride " + std::to_string(stride_) + ")";
+}
+
+}  // namespace fedadmm

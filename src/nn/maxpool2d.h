@@ -1,0 +1,36 @@
+/// \file maxpool2d.h
+/// \brief 2-D max pooling layer.
+
+#ifndef FEDADMM_NN_MAXPOOL2D_H_
+#define FEDADMM_NN_MAXPOOL2D_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace fedadmm {
+
+/// \brief Max pooling over [N, C, H, W] with square window (no padding).
+/// The paper's CNNs use 2x2 windows with stride 2.
+class MaxPool2d : public Layer {
+ public:
+  explicit MaxPool2d(int64_t kernel, int64_t stride = -1);
+
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  Shape OutputShape(const Shape& input) const override;
+  std::unique_ptr<Layer> Clone() const override;
+  std::string name() const override;
+
+ private:
+  int64_t kernel_;
+  int64_t stride_;
+  Shape cached_input_shape_;
+  std::vector<int32_t> argmax_;
+};
+
+}  // namespace fedadmm
+
+#endif  // FEDADMM_NN_MAXPOOL2D_H_

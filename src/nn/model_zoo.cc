@@ -1,0 +1,171 @@
+#include "nn/model_zoo.h"
+
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/flatten.h"
+#include "nn/linear.h"
+#include "nn/maxpool2d.h"
+
+namespace fedadmm {
+namespace {
+
+/// Builds the paper's two-conv CNN family:
+/// conv(5x5, pad 2) -> ReLU -> pool(2) -> conv(5x5, pad 2) -> ReLU ->
+/// pool(2) -> flatten -> FC hidden -> ReLU -> FC classes.
+std::unique_ptr<Sequential> MakeTwoConvNet(int64_t in_channels, int64_t hw,
+                                           int64_t c1, int64_t c2,
+                                           int64_t hidden, int64_t classes) {
+  FEDADMM_CHECK_MSG(hw % 4 == 0, "two-conv net needs H=W divisible by 4");
+  const int64_t flat = c2 * (hw / 4) * (hw / 4);
+  auto net = std::make_unique<Sequential>();
+  net->Emplace<Conv2d>(in_channels, c1, /*kernel=*/5, /*stride=*/1,
+                       /*padding=*/2)
+      .Emplace<ReLU>()
+      .Emplace<MaxPool2d>(2)
+      .Emplace<Conv2d>(c1, c2, 5, 1, 2)
+      .Emplace<ReLU>()
+      .Emplace<MaxPool2d>(2)
+      .Emplace<Flatten>()
+      .Emplace<Linear>(flat, hidden)
+      .Emplace<ReLU>()
+      .Emplace<Linear>(hidden, classes);
+  return net;
+}
+
+}  // namespace
+
+std::string ModelConfig::ToString() const {
+  switch (arch) {
+    case Arch::kPaperCnn1:
+      return "PaperCnn1(1x28x28 -> 10, 1663370 params)";
+    case Arch::kPaperCnn2:
+      return "PaperCnn2(3x32x32 -> 10, 1105098 params)";
+    case Arch::kBenchCnn:
+      return "BenchCnn(" + std::to_string(in_channels) + "x" +
+             std::to_string(height) + "x" + std::to_string(width) + ", conv " +
+             std::to_string(conv1_channels) + "/" +
+             std::to_string(conv2_channels) + ", fc " +
+             std::to_string(hidden) + " -> " + std::to_string(classes) + ")";
+    case Arch::kMlp:
+      return "Mlp(" + std::to_string(in_channels * height * width) + " -> " +
+             std::to_string(mlp_hidden) + " -> " + std::to_string(classes) +
+             ")";
+    case Arch::kLinearReg:
+      return "LinearRegression(" +
+             std::to_string(in_channels * height * width) + " -> " +
+             std::to_string(classes) + ")";
+    case Arch::kLogistic:
+      return "Logistic(" + std::to_string(in_channels * height * width) +
+             " -> " + std::to_string(classes) + ")";
+  }
+  return "Unknown";
+}
+
+std::unique_ptr<Model> BuildModel(const ModelConfig& config) {
+  switch (config.arch) {
+    case ModelConfig::Arch::kPaperCnn1:
+      return std::make_unique<Model>(
+          MakeTwoConvNet(/*in_channels=*/1, /*hw=*/28, /*c1=*/32, /*c2=*/64,
+                         /*hidden=*/512, /*classes=*/10),
+          LossKind::kSoftmaxCrossEntropy);
+    case ModelConfig::Arch::kPaperCnn2:
+      return std::make_unique<Model>(
+          MakeTwoConvNet(/*in_channels=*/3, /*hw=*/32, /*c1=*/32, /*c2=*/64,
+                         /*hidden=*/256, /*classes=*/10),
+          LossKind::kSoftmaxCrossEntropy);
+    case ModelConfig::Arch::kBenchCnn: {
+      FEDADMM_CHECK_MSG(config.height == config.width,
+                        "BenchCnn requires square input");
+      return std::make_unique<Model>(
+          MakeTwoConvNet(config.in_channels, config.height,
+                         config.conv1_channels, config.conv2_channels,
+                         config.hidden, config.classes),
+          LossKind::kSoftmaxCrossEntropy);
+    }
+    case ModelConfig::Arch::kMlp: {
+      const int64_t in = config.in_channels * config.height * config.width;
+      auto net = std::make_unique<Sequential>();
+      net->Emplace<Flatten>()
+          .Emplace<Linear>(in, config.mlp_hidden)
+          .Emplace<ReLU>()
+          .Emplace<Linear>(config.mlp_hidden, config.classes);
+      return std::make_unique<Model>(std::move(net),
+                                     LossKind::kSoftmaxCrossEntropy);
+    }
+    case ModelConfig::Arch::kLinearReg: {
+      const int64_t in = config.in_channels * config.height * config.width;
+      auto net = std::make_unique<Sequential>();
+      net->Emplace<Flatten>().Emplace<Linear>(in, config.classes);
+      return std::make_unique<Model>(std::move(net), LossKind::kMse);
+    }
+    case ModelConfig::Arch::kLogistic: {
+      const int64_t in = config.in_channels * config.height * config.width;
+      auto net = std::make_unique<Sequential>();
+      net->Emplace<Flatten>().Emplace<Linear>(in, config.classes);
+      return std::make_unique<Model>(std::move(net),
+                                     LossKind::kSoftmaxCrossEntropy);
+    }
+  }
+  FEDADMM_CHECK_MSG(false, "unreachable model arch");
+  return nullptr;
+}
+
+ModelConfig PaperCnn1Config() {
+  ModelConfig c;
+  c.arch = ModelConfig::Arch::kPaperCnn1;
+  c.in_channels = 1;
+  c.height = c.width = 28;
+  c.classes = 10;
+  return c;
+}
+
+ModelConfig PaperCnn2Config() {
+  ModelConfig c;
+  c.arch = ModelConfig::Arch::kPaperCnn2;
+  c.in_channels = 3;
+  c.height = c.width = 32;
+  c.classes = 10;
+  return c;
+}
+
+ModelConfig BenchCnnConfig(int64_t in_channels, int64_t hw) {
+  ModelConfig c;
+  c.arch = ModelConfig::Arch::kBenchCnn;
+  c.in_channels = in_channels;
+  c.height = c.width = hw;
+  c.classes = 10;
+  return c;
+}
+
+ModelConfig MlpConfig(int64_t in_features, int64_t hidden, int64_t classes) {
+  ModelConfig c;
+  c.arch = ModelConfig::Arch::kMlp;
+  c.in_channels = 1;
+  c.height = 1;
+  c.width = in_features;
+  c.mlp_hidden = hidden;
+  c.classes = classes;
+  return c;
+}
+
+ModelConfig LinearRegressionConfig(int64_t in_features, int64_t out_features) {
+  ModelConfig c;
+  c.arch = ModelConfig::Arch::kLinearReg;
+  c.in_channels = 1;
+  c.height = 1;
+  c.width = in_features;
+  c.classes = out_features;
+  return c;
+}
+
+ModelConfig LogisticConfig(int64_t in_features, int64_t classes) {
+  ModelConfig c;
+  c.arch = ModelConfig::Arch::kLogistic;
+  c.in_channels = 1;
+  c.height = 1;
+  c.width = in_features;
+  c.classes = classes;
+  return c;
+}
+
+}  // namespace fedadmm

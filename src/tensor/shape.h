@@ -1,0 +1,75 @@
+/// \file shape.h
+/// \brief Tensor shape: a small vector of dimension extents.
+
+#ifndef FEDADMM_TENSOR_SHAPE_H_
+#define FEDADMM_TENSOR_SHAPE_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace fedadmm {
+
+/// \brief Dimensions of a dense row-major tensor.
+class Shape {
+ public:
+  Shape() = default;
+
+  /// Constructs from an explicit dimension list, e.g. `Shape({N, C, H, W})`.
+  Shape(std::initializer_list<int64_t> dims) : dims_(dims) { Validate(); }
+
+  /// Constructs from a vector of dims.
+  explicit Shape(std::vector<int64_t> dims) : dims_(std::move(dims)) {
+    Validate();
+  }
+
+  /// Number of dimensions.
+  int ndim() const { return static_cast<int>(dims_.size()); }
+
+  /// Extent of dimension `i`; negative indices count from the back.
+  int64_t dim(int i) const {
+    if (i < 0) i += ndim();
+    FEDADMM_CHECK_MSG(i >= 0 && i < ndim(), "Shape::dim index out of range");
+    return dims_[i];
+  }
+
+  /// Total number of elements (product of dims; 1 for a scalar/empty shape).
+  int64_t numel() const {
+    int64_t n = 1;
+    for (int64_t d : dims_) n *= d;
+    return n;
+  }
+
+  /// The raw dims.
+  const std::vector<int64_t>& dims() const { return dims_; }
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  /// e.g. "[32, 1, 28, 28]".
+  std::string ToString() const {
+    std::string s = "[";
+    for (size_t i = 0; i < dims_.size(); ++i) {
+      if (i > 0) s += ", ";
+      s += std::to_string(dims_[i]);
+    }
+    s += "]";
+    return s;
+  }
+
+ private:
+  void Validate() const {
+    for (int64_t d : dims_) {
+      FEDADMM_CHECK_MSG(d >= 0, "Shape dims must be non-negative");
+    }
+  }
+
+  std::vector<int64_t> dims_;
+};
+
+}  // namespace fedadmm
+
+#endif  // FEDADMM_TENSOR_SHAPE_H_

@@ -1,0 +1,15 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+
+namespace fedadmm {
+
+bool Tensor::AllClose(const Tensor& other, float atol) const {
+  if (shape_ != other.shape_) return false;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    if (std::fabs(data_[i] - other.data_[i]) > atol) return false;
+  }
+  return true;
+}
+
+}  // namespace fedadmm

@@ -1,0 +1,126 @@
+/// \file tensor.h
+/// \brief Dense row-major float32 tensor.
+///
+/// The tensor is a plain owning container: copies are deep, moves are cheap.
+/// All neural-network activations, parameters and dataset storage use it.
+/// Indexing helpers are provided for up to 4 dimensions (N, C, H, W), which
+/// covers everything the paper's CNNs need.
+
+#ifndef FEDADMM_TENSOR_TENSOR_H_
+#define FEDADMM_TENSOR_TENSOR_H_
+
+#include <cstring>
+#include <vector>
+
+#include "tensor/shape.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace fedadmm {
+
+/// \brief Dense row-major float tensor with value semantics.
+class Tensor {
+ public:
+  /// An empty (0-element) tensor.
+  Tensor() = default;
+
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape)
+      : shape_(std::move(shape)),
+        data_(static_cast<size_t>(shape_.numel()), 0.0f) {}
+
+  /// Tensor of the given shape filled with `value`.
+  Tensor(Shape shape, float value)
+      : shape_(std::move(shape)),
+        data_(static_cast<size_t>(shape_.numel()), value) {}
+
+  /// Tensor adopting existing data. `data.size()` must equal `shape.numel()`.
+  Tensor(Shape shape, std::vector<float> data)
+      : shape_(std::move(shape)), data_(std::move(data)) {
+    FEDADMM_CHECK_MSG(
+        static_cast<int64_t>(data_.size()) == shape_.numel(),
+        "Tensor: data size does not match shape");
+  }
+
+  /// The shape.
+  const Shape& shape() const { return shape_; }
+  /// Total element count.
+  int64_t numel() const { return static_cast<int64_t>(data_.size()); }
+  /// Raw storage.
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  /// Raw storage as a vector (e.g. for serialization).
+  const std::vector<float>& vec() const { return data_; }
+  std::vector<float>& vec() { return data_; }
+
+  /// Flat element access with bounds check in debug (CHECK always, cheap).
+  float& operator[](int64_t i) { return data_[static_cast<size_t>(i)]; }
+  float operator[](int64_t i) const { return data_[static_cast<size_t>(i)]; }
+
+  /// 2-D access for a [rows, cols] tensor.
+  float& at(int64_t r, int64_t c) {
+    return data_[static_cast<size_t>(r * shape_.dim(1) + c)];
+  }
+  float at(int64_t r, int64_t c) const {
+    return data_[static_cast<size_t>(r * shape_.dim(1) + c)];
+  }
+
+  /// 4-D access for an [N, C, H, W] tensor.
+  float& at(int64_t n, int64_t c, int64_t h, int64_t w) {
+    return data_[Offset4(n, c, h, w)];
+  }
+  float at(int64_t n, int64_t c, int64_t h, int64_t w) const {
+    return data_[Offset4(n, c, h, w)];
+  }
+
+  /// Sets every element to `value`.
+  void Fill(float value) {
+    std::fill(data_.begin(), data_.end(), value);
+  }
+
+  /// Sets every element to zero.
+  void Zero() { Fill(0.0f); }
+
+  /// Fills with N(mean, stddev^2) samples.
+  void FillNormal(Rng* rng, float mean = 0.0f, float stddev = 1.0f) {
+    for (float& v : data_) {
+      v = static_cast<float>(rng->Normal(mean, stddev));
+    }
+  }
+
+  /// Fills with U[lo, hi) samples.
+  void FillUniform(Rng* rng, float lo, float hi) {
+    for (float& v : data_) v = static_cast<float>(rng->Uniform(lo, hi));
+  }
+
+  /// Returns a copy with a new shape of identical numel.
+  Result<Tensor> Reshape(Shape new_shape) const {
+    if (new_shape.numel() != numel()) {
+      return Status::InvalidArgument(
+          "Reshape: numel mismatch " + shape_.ToString() + " -> " +
+          new_shape.ToString());
+    }
+    return Tensor(std::move(new_shape), data_);
+  }
+
+  /// True if shapes and all elements match exactly.
+  bool Equals(const Tensor& other) const {
+    return shape_ == other.shape_ && data_ == other.data_;
+  }
+
+  /// True if shapes match and elements differ by at most `atol`.
+  bool AllClose(const Tensor& other, float atol = 1e-5f) const;
+
+ private:
+  size_t Offset4(int64_t n, int64_t c, int64_t h, int64_t w) const {
+    const int64_t C = shape_.dim(1), H = shape_.dim(2), W = shape_.dim(3);
+    return static_cast<size_t>(((n * C + c) * H + h) * W + w);
+  }
+
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace fedadmm
+
+#endif  // FEDADMM_TENSOR_TENSOR_H_

@@ -1,0 +1,82 @@
+/// \file tensor_ops.h
+/// \brief Compute kernels backing the neural-network layers.
+///
+/// Convolution is implemented as im2col + blocked GEMM, the standard
+/// CPU lowering. Kernels operate on raw float buffers with explicit
+/// dimension arguments; the `nn` layers own shape bookkeeping.
+
+#ifndef FEDADMM_TENSOR_TENSOR_OPS_H_
+#define FEDADMM_TENSOR_TENSOR_OPS_H_
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace fedadmm::ops {
+
+/// C[m,n] = A[m,k] * B[k,n]  (row-major, C overwritten).
+void MatMul(const float* a, const float* b, float* c, int64_t m, int64_t k,
+            int64_t n);
+
+/// C[m,n] += A[m,k] * B[k,n].
+void MatMulAccum(const float* a, const float* b, float* c, int64_t m,
+                 int64_t k, int64_t n);
+
+/// C[m,n] = A^T[k,m] * B[k,n]  (A stored as [k,m]).
+void MatMulTransA(const float* a, const float* b, float* c, int64_t m,
+                  int64_t k, int64_t n);
+
+/// C[m,n] += A^T[k,m] * B[k,n].
+void MatMulTransAAccum(const float* a, const float* b, float* c, int64_t m,
+                       int64_t k, int64_t n);
+
+/// C[m,n] = A[m,k] * B^T[n,k]  (B stored as [n,k]).
+void MatMulTransB(const float* a, const float* b, float* c, int64_t m,
+                  int64_t k, int64_t n);
+
+/// Expands one image [C,H,W] into columns [C*KH*KW, OH*OW] for convolution
+/// with the given kernel size, stride and zero padding.
+void Im2Col(const float* image, int64_t channels, int64_t height,
+            int64_t width, int64_t kernel_h, int64_t kernel_w,
+            int64_t stride_h, int64_t stride_w, int64_t pad_h, int64_t pad_w,
+            float* columns);
+
+/// Inverse of Im2Col: accumulates columns back into the (zeroed) image
+/// gradient buffer.
+void Col2Im(const float* columns, int64_t channels, int64_t height,
+            int64_t width, int64_t kernel_h, int64_t kernel_w,
+            int64_t stride_h, int64_t stride_w, int64_t pad_h, int64_t pad_w,
+            float* image);
+
+/// Output spatial extent for a convolution/pooling dimension.
+inline int64_t ConvOutDim(int64_t in, int64_t kernel, int64_t stride,
+                          int64_t pad) {
+  return (in + 2 * pad - kernel) / stride + 1;
+}
+
+/// 2-D max pooling forward for a batch: input [N,C,H,W] -> output
+/// [N,C,OH,OW]; `argmax` (same size as output) records the flat input index
+/// of each maximum for the backward pass.
+void MaxPool2dForward(const float* input, int64_t n, int64_t c, int64_t h,
+                      int64_t w, int64_t kernel, int64_t stride, float* output,
+                      int32_t* argmax);
+
+/// Max pooling backward: scatters `grad_output` into the (zeroed)
+/// `grad_input` using the recorded argmax indices.
+void MaxPool2dBackward(const float* grad_output, const int32_t* argmax,
+                       int64_t output_numel, float* grad_input);
+
+/// In-place ReLU forward; `mask[i]` set to 1 where input > 0 else 0.
+void ReluForward(float* x, int64_t n, uint8_t* mask);
+
+/// ReLU backward: grad_input = grad_output * mask (may alias).
+void ReluBackward(const float* grad_output, const uint8_t* mask, int64_t n,
+                  float* grad_input);
+
+/// Row-wise softmax of logits [rows, cols] into probs (may alias logits).
+void SoftmaxRows(const float* logits, int64_t rows, int64_t cols,
+                 float* probs);
+
+}  // namespace fedadmm::ops
+
+#endif  // FEDADMM_TENSOR_TENSOR_OPS_H_

@@ -1,0 +1,84 @@
+#include "tensor/vec.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "util/status.h"
+
+namespace fedadmm::vec {
+
+void Axpy(float alpha, std::span<const float> x, std::span<float> y) {
+  FEDADMM_CHECK(x.size() == y.size());
+  const size_t n = x.size();
+  for (size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void Scale(float alpha, std::span<float> x) {
+  for (float& v : x) v *= alpha;
+}
+
+void Copy(std::span<const float> x, std::span<float> out) {
+  FEDADMM_CHECK(x.size() == out.size());
+  if (!x.empty()) std::memcpy(out.data(), x.data(), x.size() * sizeof(float));
+}
+
+void Zero(std::span<float> x) {
+  if (!x.empty()) std::memset(x.data(), 0, x.size() * sizeof(float));
+}
+
+double Dot(std::span<const float> x, std::span<const float> y) {
+  FEDADMM_CHECK(x.size() == y.size());
+  double acc = 0.0;
+  const size_t n = x.size();
+  for (size_t i = 0; i < n; ++i) acc += static_cast<double>(x[i]) * y[i];
+  return acc;
+}
+
+double SquaredL2Norm(std::span<const float> x) {
+  double acc = 0.0;
+  for (float v : x) acc += static_cast<double>(v) * v;
+  return acc;
+}
+
+double L2Norm(std::span<const float> x) { return std::sqrt(SquaredL2Norm(x)); }
+
+double SquaredDistance(std::span<const float> x, std::span<const float> y) {
+  FEDADMM_CHECK(x.size() == y.size());
+  double acc = 0.0;
+  const size_t n = x.size();
+  for (size_t i = 0; i < n; ++i) {
+    const double d = static_cast<double>(x[i]) - y[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+void AddScaled(std::span<const float> x, float alpha, std::span<const float> y,
+               std::span<float> out) {
+  FEDADMM_CHECK(x.size() == y.size() && x.size() == out.size());
+  const size_t n = x.size();
+  for (size_t i = 0; i < n; ++i) out[i] = x[i] + alpha * y[i];
+}
+
+void Sub(std::span<const float> x, std::span<const float> y,
+         std::span<float> out) {
+  FEDADMM_CHECK(x.size() == y.size() && x.size() == out.size());
+  const size_t n = x.size();
+  for (size_t i = 0; i < n; ++i) out[i] = x[i] - y[i];
+}
+
+void Mean(const std::vector<std::span<const float>>& vectors,
+          std::span<float> out) {
+  FEDADMM_CHECK_MSG(!vectors.empty(), "vec::Mean of zero vectors");
+  Zero(out);
+  for (const auto& v : vectors) Axpy(1.0f, v, out);
+  Scale(1.0f / static_cast<float>(vectors.size()), out);
+}
+
+float MaxAbs(std::span<const float> x) {
+  float m = 0.0f;
+  for (float v : x) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+}  // namespace fedadmm::vec

@@ -1,0 +1,61 @@
+/// \file vec.h
+/// \brief Flat parameter-vector math.
+///
+/// Every federated algorithm in this library manipulates models as flattened
+/// float vectors (the paper's w_i, y_i, θ, Δ_i all live in R^d). These
+/// free functions are the hot path of the simulator's server and client
+/// bookkeeping: axpy-style updates, norms, and distances.
+///
+/// All functions CHECK that operand sizes match.
+
+#ifndef FEDADMM_TENSOR_VEC_H_
+#define FEDADMM_TENSOR_VEC_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace fedadmm::vec {
+
+/// y += alpha * x
+void Axpy(float alpha, std::span<const float> x, std::span<float> y);
+
+/// x *= alpha
+void Scale(float alpha, std::span<float> x);
+
+/// out = x  (sizes must match)
+void Copy(std::span<const float> x, std::span<float> out);
+
+/// x = 0
+void Zero(std::span<float> x);
+
+/// Sum_i x[i] * y[i]
+double Dot(std::span<const float> x, std::span<const float> y);
+
+/// sqrt(Sum_i x[i]^2)
+double L2Norm(std::span<const float> x);
+
+/// Sum_i x[i]^2
+double SquaredL2Norm(std::span<const float> x);
+
+/// Sum_i (x[i]-y[i])^2
+double SquaredDistance(std::span<const float> x, std::span<const float> y);
+
+/// out = x + alpha * y (out may alias x)
+void AddScaled(std::span<const float> x, float alpha, std::span<const float> y,
+               std::span<float> out);
+
+/// out = x - y (out may alias either)
+void Sub(std::span<const float> x, std::span<const float> y,
+         std::span<float> out);
+
+/// Elementwise mean of `vectors` (all same length) into `out`.
+void Mean(const std::vector<std::span<const float>>& vectors,
+          std::span<float> out);
+
+/// Largest |x[i]|.
+float MaxAbs(std::span<const float> x);
+
+}  // namespace fedadmm::vec
+
+#endif  // FEDADMM_TENSOR_VEC_H_

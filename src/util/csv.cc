@@ -1,0 +1,59 @@
+#include "util/csv.h"
+
+#include <cstdio>
+
+namespace fedadmm {
+
+Status CsvWriter::Open(const std::string& path) {
+  if (out_.is_open()) out_.close();
+  out_.open(path, std::ios::out | std::ios::trunc);
+  if (!out_.is_open()) {
+    return Status::IoError("CsvWriter: cannot open " + path);
+  }
+  return Status::OK();
+}
+
+std::string CsvWriter::EscapeField(const std::string& field) {
+  bool needs_quoting = field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quoting) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+Status CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  if (!out_.is_open()) {
+    return Status::FailedPrecondition("CsvWriter: file not open");
+  }
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << EscapeField(fields[i]);
+  }
+  out_ << '\n';
+  if (!out_.good()) return Status::IoError("CsvWriter: write failed");
+  return Status::OK();
+}
+
+Status CsvWriter::WriteNumericRow(const std::vector<double>& values) {
+  std::vector<std::string> fields;
+  fields.reserve(values.size());
+  char buf[64];
+  for (double v : values) {
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    fields.emplace_back(buf);
+  }
+  return WriteRow(fields);
+}
+
+Status CsvWriter::Close() {
+  if (!out_.is_open()) return Status::OK();
+  out_.close();
+  if (out_.fail()) return Status::IoError("CsvWriter: close failed");
+  return Status::OK();
+}
+
+}  // namespace fedadmm

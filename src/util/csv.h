@@ -1,0 +1,46 @@
+/// \file csv.h
+/// \brief Tiny CSV writer used to export round histories and bench results.
+
+#ifndef FEDADMM_UTIL_CSV_H_
+#define FEDADMM_UTIL_CSV_H_
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace fedadmm {
+
+/// \brief Streams rows of comma-separated values to a file.
+///
+/// Fields containing commas, quotes or newlines are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  CsvWriter() = default;
+
+  /// Opens `path` for writing, truncating any existing file.
+  Status Open(const std::string& path);
+
+  /// Writes one row. Returns FailedPrecondition if not open.
+  Status WriteRow(const std::vector<std::string>& fields);
+
+  /// Convenience: formats doubles with 6 significant digits.
+  Status WriteNumericRow(const std::vector<double>& values);
+
+  /// Flushes and closes the file.
+  Status Close();
+
+  /// True when a file is open.
+  bool is_open() const { return out_.is_open(); }
+
+  /// Escapes a single field per RFC 4180.
+  static std::string EscapeField(const std::string& field);
+
+ private:
+  std::ofstream out_;
+};
+
+}  // namespace fedadmm
+
+#endif  // FEDADMM_UTIL_CSV_H_

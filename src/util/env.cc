@@ -1,0 +1,41 @@
+#include "util/env.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace fedadmm {
+
+std::string GetEnvString(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return v;
+}
+
+int64_t GetEnvInt(const char* name, int64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  long long parsed = std::strtoll(v, &end, 10);
+  if (end == v || (end != nullptr && *end != '\0')) return fallback;
+  return static_cast<int64_t>(parsed);
+}
+
+double GetEnvDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  double parsed = std::strtod(v, &end);
+  if (end == v || (end != nullptr && *end != '\0')) return fallback;
+  return parsed;
+}
+
+bool GetEnvBool(const char* name, bool fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  std::string s(v);
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s == "1" || s == "true" || s == "on" || s == "yes";
+}
+
+}  // namespace fedadmm

@@ -1,0 +1,31 @@
+/// \file env.h
+/// \brief Environment-variable configuration helpers.
+///
+/// Benchmarks read scale knobs (e.g. FEDADMM_BENCH_SCALE) from the
+/// environment so the same binaries can run quick CI-sized sweeps or
+/// longer paper-sized sweeps without recompilation.
+
+#ifndef FEDADMM_UTIL_ENV_H_
+#define FEDADMM_UTIL_ENV_H_
+
+#include <cstdint>
+#include <string>
+
+namespace fedadmm {
+
+/// Returns the env var `name`, or `fallback` if unset/empty.
+std::string GetEnvString(const char* name, const std::string& fallback);
+
+/// Returns the env var parsed as int64, or `fallback` if unset/unparseable.
+int64_t GetEnvInt(const char* name, int64_t fallback);
+
+/// Returns the env var parsed as double, or `fallback` if unset/unparseable.
+double GetEnvDouble(const char* name, double fallback);
+
+/// Returns true if the env var is one of "1", "true", "on", "yes"
+/// (case-insensitive); false for other set values; `fallback` when unset.
+bool GetEnvBool(const char* name, bool fallback);
+
+}  // namespace fedadmm
+
+#endif  // FEDADMM_UTIL_ENV_H_

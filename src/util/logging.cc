@@ -1,0 +1,70 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace fedadmm {
+namespace {
+
+std::atomic<int> g_level{-1};  // -1: uninitialized (read env on first use)
+std::mutex g_emit_mutex;
+
+int ResolveLevel() {
+  int level = g_level.load(std::memory_order_relaxed);
+  if (level >= 0) return level;
+  int from_env = static_cast<int>(LogLevel::kInfo);
+  if (const char* env = std::getenv("FEDADMM_LOG_LEVEL")) {
+    from_env = std::atoi(env);
+    if (from_env < 0) from_env = 0;
+    if (from_env > 4) from_env = 4;
+  }
+  g_level.store(from_env, std::memory_order_relaxed);
+  return from_env;
+}
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() { return static_cast<LogLevel>(ResolveLevel()); }
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : enabled_(static_cast<int>(level) >= ResolveLevel()), level_(level) {
+  if (enabled_) {
+    const char* base = std::strrchr(file, '/');
+    stream_ << "[" << LevelName(level_) << " " << (base ? base + 1 : file)
+            << ":" << line << "] ";
+  }
+}
+
+LogMessage::~LogMessage() {
+  if (!enabled_) return;
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::fprintf(stderr, "%s\n", stream_.str().c_str());
+}
+
+}  // namespace internal
+}  // namespace fedadmm

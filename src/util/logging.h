@@ -1,0 +1,56 @@
+/// \file logging.h
+/// \brief Minimal leveled logging to stderr.
+///
+/// Usage: `FEDADMM_LOG(Info) << "round " << t << " acc=" << acc;`
+/// The global level is settable via `SetLogLevel` or the FEDADMM_LOG_LEVEL
+/// environment variable (0=Debug, 1=Info, 2=Warning, 3=Error, 4=Off).
+
+#ifndef FEDADMM_UTIL_LOGGING_H_
+#define FEDADMM_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace fedadmm {
+
+/// Severity of a log message.
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2,
+                            kError = 3, kOff = 4 };
+
+/// Sets the global minimum level that is emitted.
+void SetLogLevel(LogLevel level);
+
+/// Returns the global minimum level.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace fedadmm
+
+#define FEDADMM_LOG(severity)                                     \
+  ::fedadmm::internal::LogMessage(                                \
+      ::fedadmm::LogLevel::k##severity, __FILE__, __LINE__)
+
+#endif  // FEDADMM_UTIL_LOGGING_H_

@@ -1,0 +1,75 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fedadmm {
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  FEDADMM_CHECK_MSG(lo <= hi, "UniformInt requires lo <= hi");
+  std::uniform_int_distribution<int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::Uniform(double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(engine_);
+}
+
+bool Rng::Bernoulli(double p) {
+  p = std::clamp(p, 0.0, 1.0);
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+Result<std::vector<int>> Rng::SampleWithoutReplacement(int n, int k) {
+  if (n < 0 || k < 0) {
+    return Status::InvalidArgument("SampleWithoutReplacement: negative size");
+  }
+  if (k > n) {
+    return Status::InvalidArgument(
+        "SampleWithoutReplacement: k exceeds population size");
+  }
+  // Partial Fisher–Yates: O(n) memory, O(n + k) time. Population sizes in the
+  // simulator are at most a few thousand clients, so this is fine.
+  std::vector<int> pool(n);
+  for (int i = 0; i < n; ++i) pool[i] = i;
+  for (int i = 0; i < k; ++i) {
+    int j = static_cast<int>(UniformInt(i, n - 1));
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+std::vector<double> Rng::Dirichlet(int k, double alpha) {
+  FEDADMM_CHECK_MSG(k > 0 && alpha > 0.0, "Dirichlet requires k>0, alpha>0");
+  std::gamma_distribution<double> gamma(alpha, 1.0);
+  std::vector<double> out(k);
+  double sum = 0.0;
+  for (int i = 0; i < k; ++i) {
+    out[i] = gamma(engine_);
+    sum += out[i];
+  }
+  if (sum <= 0.0) {
+    // Degenerate draw (possible for tiny alpha); fall back to uniform.
+    std::fill(out.begin(), out.end(), 1.0 / k);
+    return out;
+  }
+  for (double& v : out) v /= sum;
+  return out;
+}
+
+}  // namespace fedadmm

@@ -1,0 +1,87 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+
+namespace fedadmm {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads < 1) num_threads = 1;
+  workers_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  task_available_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push([t = std::move(task)](int) { t(); });
+  }
+  task_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return tasks_.empty() && active_ == 0; });
+}
+
+void ThreadPool::ParallelFor(
+    int n, const std::function<void(int index, int worker)>& body) {
+  if (n <= 0) return;
+  // Dynamic scheduling over a shared counter: client workloads are uneven
+  // (variable epoch counts under system heterogeneity), so static chunking
+  // would leave workers idle.
+  auto counter = std::make_shared<std::atomic<int>>(0);
+  int tasks_to_spawn = std::min<int>(n, num_threads());
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (int t = 0; t < tasks_to_spawn; ++t) {
+      tasks_.push([counter, n, &body](int worker) {
+        for (int i = counter->fetch_add(1); i < n;
+             i = counter->fetch_add(1)) {
+          body(i, worker);
+        }
+      });
+    }
+  }
+  task_available_.notify_all();
+  Wait();
+}
+
+void ThreadPool::WorkerLoop(int worker_slot) {
+  for (;;) {
+    std::function<void(int)> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_available_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+      ++active_;
+    }
+    task(worker_slot);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --active_;
+      if (tasks_.empty() && active_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+int ThreadPool::DefaultNumThreads() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace fedadmm

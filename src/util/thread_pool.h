@@ -1,0 +1,64 @@
+/// \file thread_pool.h
+/// \brief Fixed-size worker pool with a `ParallelFor` helper.
+///
+/// The FL simulator trains the selected clients of a round in parallel. Each
+/// task is independent (clients own disjoint state), so a simple blocking
+/// ParallelFor is sufficient and keeps the execution model easy to reason
+/// about. Determinism is preserved because all per-client randomness comes
+/// from forked RNG streams keyed by (round, client), never from thread ids.
+
+#ifndef FEDADMM_UTIL_THREAD_POOL_H_
+#define FEDADMM_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace fedadmm {
+
+/// \brief A fixed pool of worker threads executing queued tasks.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers (values < 1 are clamped to 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all queued and running tasks finish.
+  void Wait();
+
+  /// Runs `body(i)` for i in [0, n) across the pool and blocks until done.
+  /// `body` receives additionally the index of the executing worker slot in
+  /// [0, num_threads()), which callers use to pick per-thread scratch space
+  /// (e.g. a model clone).
+  void ParallelFor(int n, const std::function<void(int index, int worker)>& body);
+
+  /// A sensible default: hardware_concurrency, at least 1.
+  static int DefaultNumThreads();
+
+ private:
+  void WorkerLoop(int worker_slot);
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void(int)>> tasks_;  // task receives worker slot
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  int active_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace fedadmm
+
+#endif  // FEDADMM_UTIL_THREAD_POOL_H_

@@ -1,0 +1,200 @@
+#include "core/fedadmm.h"
+
+#include <gtest/gtest.h>
+
+#include "fl/quadratic_problem.h"
+#include "tensor/vec.h"
+
+namespace fedadmm {
+namespace {
+
+QuadraticSpec Spec() {
+  QuadraticSpec spec;
+  spec.num_clients = 6;
+  spec.dim = 8;
+  spec.heterogeneity = 1.5;
+  spec.seed = 61;
+  return spec;
+}
+
+AlgorithmContext Ctx(const QuadraticProblem& p) {
+  AlgorithmContext ctx;
+  ctx.num_clients = p.num_clients();
+  ctx.dim = p.dim();
+  return ctx;
+}
+
+FedAdmmOptions Options(float rho = 1.0f) {
+  FedAdmmOptions options;
+  options.local.learning_rate = 0.05f;
+  options.local.batch_size = 0;
+  options.local.max_epochs = 4;
+  options.local.variable_epochs = false;
+  options.rho = StepSchedule(rho);
+  return options;
+}
+
+TEST(FedAdmmTest, SetupInitializesPrimalDualState) {
+  QuadraticProblem problem(Spec());
+  FedAdmm algo(Options());
+  std::vector<float> theta(8, 0.7f);
+  algo.Setup(Ctx(problem), theta);
+  for (int i = 0; i < problem.num_clients(); ++i) {
+    EXPECT_EQ(algo.client_model(i), theta);               // w_i⁰ = θ⁰
+    EXPECT_EQ(vec::L2Norm(algo.client_dual(i)), 0.0);     // y_i⁰ = 0
+  }
+}
+
+TEST(FedAdmmTest, DualUpdateFollowsLine20) {
+  QuadraticProblem problem(Spec());
+  FedAdmm algo(Options(2.0f));
+  std::vector<float> theta(8, 0.0f);
+  algo.Setup(Ctx(problem), theta);
+
+  auto lp = problem.MakeLocalProblem(1, 0);
+  algo.ClientUpdate(1, 0, theta, lp.get(), Rng(1));
+  const auto& w = algo.client_model(1);
+  const auto& y = algo.client_dual(1);
+  // With y⁰ = 0: y¹ = ρ (w¹ − θ).
+  for (size_t k = 0; k < y.size(); ++k) {
+    EXPECT_NEAR(y[k], 2.0f * (w[k] - theta[k]), 1e-5f);
+  }
+}
+
+TEST(FedAdmmTest, DeltaIsAugmentedModelDifference) {
+  QuadraticProblem problem(Spec());
+  const float rho = 1.5f;
+  FedAdmm algo(Options(rho));
+  std::vector<float> theta(8, 0.3f);
+  algo.Setup(Ctx(problem), theta);
+
+  // Capture the pre-update augmented model.
+  std::vector<float> u_prev(8);
+  for (size_t k = 0; k < 8; ++k) {
+    u_prev[k] = algo.client_model(2)[k] + algo.client_dual(2)[k] / rho;
+  }
+  auto lp = problem.MakeLocalProblem(2, 0);
+  const UpdateMessage msg = algo.ClientUpdate(2, 0, theta, lp.get(), Rng(2));
+  for (size_t k = 0; k < 8; ++k) {
+    const float u_new =
+        algo.client_model(2)[k] + algo.client_dual(2)[k] / rho;
+    EXPECT_NEAR(msg.delta[k], u_new - u_prev[k], 1e-5f);
+  }
+}
+
+TEST(FedAdmmTest, ServerUpdateFollowsEq5) {
+  QuadraticProblem problem(Spec());
+  FedAdmmOptions options = Options();
+  options.eta = StepSchedule(0.8);
+  FedAdmm algo(options);
+  std::vector<float> theta(8, 0.0f);
+  algo.Setup(Ctx(problem), theta);
+
+  UpdateMessage m1, m2;
+  m1.delta.assign(8, 1.0f);
+  m2.delta.assign(8, 3.0f);
+  algo.ServerUpdate({m1, m2}, 0, &theta);
+  // θ += (0.8 / 2) * (1 + 3) = 1.6.
+  for (float v : theta) EXPECT_FLOAT_EQ(v, 1.6f);
+}
+
+TEST(FedAdmmTest, EtaActiveFractionUsesSelectedOverTotal) {
+  QuadraticProblem problem(Spec());  // m = 6
+  FedAdmmOptions options = Options();
+  options.eta_active_fraction = true;
+  FedAdmm algo(options);
+  std::vector<float> theta(8, 0.0f);
+  algo.Setup(Ctx(problem), theta);
+
+  UpdateMessage m1, m2, m3;
+  for (auto* m : {&m1, &m2, &m3}) m->delta.assign(8, 2.0f);
+  algo.ServerUpdate({m1, m2, m3}, 0, &theta);
+  // η = 3/6; θ += (0.5/3) * 6 = 1.
+  for (float v : theta) EXPECT_FLOAT_EQ(v, 1.0f);
+}
+
+TEST(FedAdmmTest, RhoScheduleTakesEffectAtSwitchRound) {
+  FedAdmmOptions options = Options(0.01f);
+  options.rho = StepSchedule(0.01);
+  options.rho.AddSwitch(30, 0.1);
+  FedAdmm algo(options);
+  EXPECT_FLOAT_EQ(algo.RhoAt(0), 0.01f);
+  EXPECT_FLOAT_EQ(algo.RhoAt(29), 0.01f);
+  EXPECT_FLOAT_EQ(algo.RhoAt(30), 0.1f);
+}
+
+TEST(FedAdmmTest, GlobalInitIgnoresStoredClientModel) {
+  QuadraticProblem problem(Spec());
+  FedAdmmOptions warm = Options();
+  warm.init = FedAdmmOptions::LocalInit::kClientModel;
+  FedAdmmOptions cold = Options();
+  cold.init = FedAdmmOptions::LocalInit::kGlobalModel;
+
+  FedAdmm algo_warm(warm), algo_cold(cold);
+  std::vector<float> theta(8, 0.0f);
+  algo_warm.Setup(Ctx(problem), theta);
+  algo_cold.Setup(Ctx(problem), theta);
+
+  // First round from identical state: trajectories match (w_i = θ).
+  {
+    auto l1 = problem.MakeLocalProblem(0, 0);
+    auto l2 = problem.MakeLocalProblem(0, 0);
+    const auto m1 = algo_warm.ClientUpdate(0, 0, theta, l1.get(), Rng(3));
+    const auto m2 = algo_cold.ClientUpdate(0, 0, theta, l2.get(), Rng(3));
+    for (size_t k = 0; k < 8; ++k) EXPECT_NEAR(m1.delta[k], m2.delta[k], 1e-6f);
+  }
+  // Second round with a different θ: warm start trains from stored w_i,
+  // global init retrains from θ — different iterates.
+  std::vector<float> theta2(8, 0.5f);
+  auto l1 = problem.MakeLocalProblem(0, 0);
+  auto l2 = problem.MakeLocalProblem(0, 0);
+  algo_warm.ClientUpdate(0, 1, theta2, l1.get(), Rng(4));
+  algo_cold.ClientUpdate(0, 1, theta2, l2.get(), Rng(4));
+  EXPECT_NE(algo_warm.client_model(0), algo_cold.client_model(0));
+}
+
+TEST(FedAdmmTest, FrozenDualsStayZero) {
+  QuadraticProblem problem(Spec());
+  FedAdmmOptions options = Options();
+  options.freeze_duals = true;
+  FedAdmm algo(options);
+  std::vector<float> theta(8, 0.1f);
+  algo.Setup(Ctx(problem), theta);
+  auto lp = problem.MakeLocalProblem(4, 0);
+  algo.ClientUpdate(4, 0, theta, lp.get(), Rng(5));
+  EXPECT_EQ(vec::L2Norm(algo.client_dual(4)), 0.0);
+}
+
+TEST(FedAdmmTest, UploadCostMatchesFedAvg) {
+  QuadraticProblem problem(Spec());
+  FedAdmm algo(Options());
+  std::vector<float> theta(8, 0.0f);
+  algo.Setup(Ctx(problem), theta);
+  auto lp = problem.MakeLocalProblem(0, 0);
+  const UpdateMessage msg = algo.ClientUpdate(0, 0, theta, lp.get(), Rng(6));
+  // Single d-vector up and down: identical cost to FedAvg/FedProx (paper
+  // Section III-B), despite storing the extra dual.
+  EXPECT_EQ(msg.UploadBytes(), 8 * 4);
+  EXPECT_EQ(algo.DownloadBytesPerClient(), 8 * 4);
+  EXPECT_TRUE(msg.delta2.empty());
+}
+
+TEST(FedAdmmTest, VariableEpochsWithinBounds) {
+  QuadraticProblem problem(Spec());
+  FedAdmmOptions options = Options();
+  options.local.max_epochs = 7;
+  options.local.variable_epochs = true;
+  FedAdmm algo(options);
+  std::vector<float> theta(8, 0.0f);
+  algo.Setup(Ctx(problem), theta);
+  for (int round = 0; round < 15; ++round) {
+    auto lp = problem.MakeLocalProblem(round % 6, 0);
+    const UpdateMessage msg = algo.ClientUpdate(round % 6, round, theta,
+                                                lp.get(), Rng(100 + round));
+    EXPECT_GE(msg.epochs_run, 1);
+    EXPECT_LE(msg.epochs_run, 7);
+  }
+}
+
+}  // namespace
+}  // namespace fedadmm

@@ -1,0 +1,107 @@
+#include "core/optimality.h"
+
+#include <gtest/gtest.h>
+
+#include "fl/quadratic_problem.h"
+#include "fl/selection.h"
+#include "fl/simulation.h"
+
+namespace fedadmm {
+namespace {
+
+QuadraticSpec Spec() {
+  QuadraticSpec spec;
+  spec.num_clients = 6;
+  spec.dim = 6;
+  spec.heterogeneity = 1.0;
+  spec.seed = 101;
+  return spec;
+}
+
+FedAdmmOptions Options() {
+  FedAdmmOptions options;
+  options.local.learning_rate = 0.05f;
+  options.local.batch_size = 0;
+  options.local.max_epochs = 6;
+  options.local.variable_epochs = false;
+  options.rho = StepSchedule(2.0);
+  options.eta_active_fraction = true;
+  return options;
+}
+
+OptimalityGap GapAfter(int rounds, uint64_t seed) {
+  // Fresh problem/algorithm per call keeps runs independent.
+  QuadraticProblem problem(Spec());
+  FedAdmm algo(Options());
+  FullParticipationSelector selector(problem.num_clients());
+  SimulationConfig config;
+  config.max_rounds = rounds;
+  config.seed = seed;
+  Simulation sim(&problem, &algo, &selector, config);
+  EXPECT_TRUE(sim.Run().ok());
+  return ComputeOptimalityGap(&problem, algo, sim.theta(), rounds - 1);
+}
+
+TEST(OptimalityGapTest, AllTermsNonNegative) {
+  const OptimalityGap gap = GapAfter(3, 1);
+  EXPECT_GE(gap.grad_theta_sq, 0.0);
+  EXPECT_GE(gap.grad_w_sq, 0.0);
+  EXPECT_GE(gap.consensus_sq, 0.0);
+  EXPECT_DOUBLE_EQ(gap.total(),
+                   gap.grad_theta_sq + gap.grad_w_sq + gap.consensus_sq);
+}
+
+TEST(OptimalityGapTest, DecreasesWithTraining) {
+  // Theorem 1: the running average of V_t is O(1/T) + ε floor; on a convex
+  // problem the end-of-run gap after many rounds must be far below the gap
+  // after few rounds.
+  const double early = GapAfter(2, 2).total();
+  const double late = GapAfter(150, 2).total();
+  EXPECT_LT(late, early * 0.05);
+}
+
+TEST(OptimalityGapTest, NearZeroAtConvergence) {
+  const OptimalityGap gap = GapAfter(400, 3);
+  EXPECT_LT(gap.total(), 1e-3);
+  // All three components individually vanish at a stationary point of (2).
+  EXPECT_LT(gap.grad_theta_sq, 1e-4);
+  EXPECT_LT(gap.grad_w_sq, 1e-3);
+  EXPECT_LT(gap.consensus_sq, 1e-3);
+}
+
+TEST(OptimalityGapTest, ZeroExactlyAtAnalyticStationaryPoint) {
+  // Hand-construct the stationary state: w_i = θ = θ*, y_i = −∇f_i(θ*).
+  QuadraticProblem problem(Spec());
+  FedAdmm algo(Options());
+  std::vector<float> theta(problem.optimum().begin(),
+                           problem.optimum().end());
+  AlgorithmContext ctx;
+  ctx.num_clients = problem.num_clients();
+  ctx.dim = problem.dim();
+  algo.Setup(ctx, theta);
+
+  // Overwrite the state through the public API: run zero rounds, then use
+  // the gap on the constructed (w, y, θ) via a fresh FedAdmm whose Setup
+  // state we emulate by direct computation. Since client state accessors
+  // are read-only, validate instead that V at (θ*, y*) computed manually is
+  // zero by evaluating the three terms.
+  std::vector<float> grad(static_cast<size_t>(problem.dim()));
+  double v_total = 0.0;
+  std::vector<double> grad_theta(static_cast<size_t>(problem.dim()), 0.0);
+  const float rho = 2.0f;
+  for (int i = 0; i < problem.num_clients(); ++i) {
+    problem.ClientGradient(i, theta, grad);
+    for (int64_t k = 0; k < problem.dim(); ++k) {
+      const size_t ks = static_cast<size_t>(k);
+      const double y = -static_cast<double>(grad[ks]);  // y_i* = −∇f_i(θ*)
+      const double gw = grad[ks] + y + rho * 0.0;       // w_i = θ
+      v_total += gw * gw;                                // ‖∇w L_i‖²
+      grad_theta[ks] -= y;                               // −Σ y_i
+    }
+  }
+  for (double v : grad_theta) v_total += v * v;
+  EXPECT_NEAR(v_total, 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace fedadmm

@@ -1,0 +1,56 @@
+#include "core/schedules.h"
+
+#include <gtest/gtest.h>
+
+namespace fedadmm {
+namespace {
+
+TEST(StepScheduleTest, ConstantByDefault) {
+  StepSchedule s(0.5);
+  EXPECT_TRUE(s.is_constant());
+  EXPECT_DOUBLE_EQ(s.At(0), 0.5);
+  EXPECT_DOUBLE_EQ(s.At(1000), 0.5);
+}
+
+TEST(StepScheduleTest, SingleSwitch) {
+  // Fig. 6's experiment: η = 1.0, dropped at round 60.
+  StepSchedule s(1.0);
+  s.AddSwitch(60, 0.5);
+  EXPECT_DOUBLE_EQ(s.At(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.At(59), 1.0);
+  EXPECT_DOUBLE_EQ(s.At(60), 0.5);
+  EXPECT_DOUBLE_EQ(s.At(100), 0.5);
+  EXPECT_FALSE(s.is_constant());
+}
+
+TEST(StepScheduleTest, MultipleSwitches) {
+  StepSchedule s(0.01);
+  s.AddSwitch(10, 0.1).AddSwitch(20, 1.0);
+  EXPECT_DOUBLE_EQ(s.At(9), 0.01);
+  EXPECT_DOUBLE_EQ(s.At(10), 0.1);
+  EXPECT_DOUBLE_EQ(s.At(19), 0.1);
+  EXPECT_DOUBLE_EQ(s.At(20), 1.0);
+}
+
+TEST(StepScheduleTest, InitialAccessor) {
+  StepSchedule s(0.25);
+  s.AddSwitch(5, 2.0);
+  EXPECT_DOUBLE_EQ(s.initial(), 0.25);
+}
+
+TEST(StepScheduleTest, ToStringListsSwitches) {
+  StepSchedule s(1.0);
+  s.AddSwitch(60, 0.5);
+  const std::string str = s.ToString();
+  EXPECT_NE(str.find("0.5"), std::string::npos);
+  EXPECT_NE(str.find("60"), std::string::npos);
+}
+
+TEST(StepScheduleTest, OutOfOrderSwitchAborts) {
+  StepSchedule s(1.0);
+  s.AddSwitch(10, 0.5);
+  EXPECT_DEATH(s.AddSwitch(5, 0.1), "increasing round order");
+}
+
+}  // namespace
+}  // namespace fedadmm

@@ -1,0 +1,121 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+namespace fedadmm {
+namespace {
+
+Dataset TinyDataset(int n = 6) {
+  Dataset d(Shape({1, 2, 2}), /*num_classes=*/3);
+  for (int i = 0; i < n; ++i) {
+    std::vector<float> pixels{static_cast<float>(i), 0, 0,
+                              static_cast<float>(-i)};
+    d.Add(pixels, i % 3);
+  }
+  return d;
+}
+
+TEST(DatasetTest, SizeAndShape) {
+  Dataset d = TinyDataset();
+  EXPECT_EQ(d.size(), 6);
+  EXPECT_EQ(d.sample_shape(), Shape({1, 2, 2}));
+  EXPECT_EQ(d.num_classes(), 3);
+  EXPECT_EQ(d.SampleNumel(), 4);
+}
+
+TEST(DatasetTest, SampleAccess) {
+  Dataset d = TinyDataset();
+  auto s = d.sample(3);
+  ASSERT_EQ(s.size(), 4u);
+  EXPECT_FLOAT_EQ(s[0], 3.0f);
+  EXPECT_FLOAT_EQ(s[3], -3.0f);
+  EXPECT_EQ(d.label(3), 0);
+}
+
+TEST(DatasetTest, MakeBatchGathersInOrder) {
+  Dataset d = TinyDataset();
+  const std::vector<int> idx{4, 0, 2};
+  Tensor batch = d.MakeBatch(idx);
+  EXPECT_EQ(batch.shape(), Shape({3, 1, 2, 2}));
+  EXPECT_FLOAT_EQ(batch.at(0, 0, 0, 0), 4.0f);
+  EXPECT_FLOAT_EQ(batch.at(1, 0, 0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(batch.at(2, 0, 0, 0), 2.0f);
+  EXPECT_EQ(d.MakeLabelBatch(idx), (std::vector<int>{1, 0, 2}));
+}
+
+TEST(DatasetTest, AllIndices) {
+  Dataset d = TinyDataset(4);
+  EXPECT_EQ(d.AllIndices(), (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(DatasetTest, ClassCounts) {
+  Dataset d = TinyDataset(7);  // labels 0,1,2,0,1,2,0
+  EXPECT_EQ(d.ClassCounts(), (std::vector<int>{3, 2, 2}));
+}
+
+TEST(ClientViewTest, FullBatchGathersAllLocalSamples) {
+  Dataset d = TinyDataset();
+  ClientView view(&d, {1, 3, 5});
+  EXPECT_EQ(view.size(), 3);
+  Tensor batch = view.FullBatch();
+  EXPECT_EQ(batch.shape().dim(0), 3);
+  EXPECT_EQ(view.FullLabels(), (std::vector<int>{1, 0, 2}));
+}
+
+TEST(ClientViewTest, EpochBatchesPartitionLocalIndices) {
+  Dataset d = TinyDataset(10);
+  std::vector<int> indices(10);
+  std::iota(indices.begin(), indices.end(), 0);
+  ClientView view(&d, indices);
+  Rng rng(3);
+  const auto batches = view.EpochBatches(/*batch_size=*/3, &rng);
+  ASSERT_EQ(batches.size(), 4u);  // 3+3+3+1
+  std::multiset<int> seen;
+  for (const auto& b : batches) {
+    EXPECT_LE(b.size(), 3u);
+    for (int i : b) seen.insert(i);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(seen.count(i), 1u);
+}
+
+TEST(ClientViewTest, FullBatchModeWhenBatchSizeNonPositive) {
+  Dataset d = TinyDataset(5);
+  ClientView view(&d, {0, 1, 2, 3, 4});
+  Rng rng(4);
+  auto batches = view.EpochBatches(/*batch_size=*/0, &rng);
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0].size(), 5u);
+  batches = view.EpochBatches(/*batch_size=*/-1, &rng);
+  ASSERT_EQ(batches.size(), 1u);
+}
+
+TEST(ClientViewTest, OversizeBatchActsAsFullBatch) {
+  Dataset d = TinyDataset(4);
+  ClientView view(&d, {0, 1, 2, 3});
+  Rng rng(5);
+  const auto batches = view.EpochBatches(/*batch_size=*/100, &rng);
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0].size(), 4u);
+}
+
+TEST(ClientViewTest, ShufflingVariesAcrossEpochsButIsSeedDeterministic) {
+  Dataset d = TinyDataset(8);
+  std::vector<int> indices(8);
+  std::iota(indices.begin(), indices.end(), 0);
+  ClientView view(&d, indices);
+
+  Rng rng_a(7), rng_b(7);
+  const auto a1 = view.EpochBatches(4, &rng_a);
+  const auto b1 = view.EpochBatches(4, &rng_b);
+  EXPECT_EQ(a1, b1);  // same seed, same order
+
+  const auto a2 = view.EpochBatches(4, &rng_a);
+  EXPECT_NE(a1, a2);  // consecutive epochs reshuffle
+}
+
+}  // namespace
+}  // namespace fedadmm

@@ -1,0 +1,223 @@
+#include "data/loaders.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace fedadmm {
+namespace {
+
+/// Writes a big-endian uint32.
+void WriteU32Be(std::ofstream& out, uint32_t v) {
+  const unsigned char bytes[4] = {
+      static_cast<unsigned char>(v >> 24), static_cast<unsigned char>(v >> 16),
+      static_cast<unsigned char>(v >> 8), static_cast<unsigned char>(v)};
+  out.write(reinterpret_cast<const char*>(bytes), 4);
+}
+
+/// Writes a tiny IDX image/label pair: n images of rows x cols, pixel value
+/// = (image index * 7 + flat pixel) % 256, label = index % 10.
+void WriteTinyIdx(const std::string& images, const std::string& labels, int n,
+                  int rows, int cols) {
+  std::ofstream img(images, std::ios::binary);
+  WriteU32Be(img, 0x00000803);
+  WriteU32Be(img, static_cast<uint32_t>(n));
+  WriteU32Be(img, static_cast<uint32_t>(rows));
+  WriteU32Be(img, static_cast<uint32_t>(cols));
+  for (int i = 0; i < n; ++i) {
+    for (int p = 0; p < rows * cols; ++p) {
+      const unsigned char v = static_cast<unsigned char>((i * 7 + p) % 256);
+      img.write(reinterpret_cast<const char*>(&v), 1);
+    }
+  }
+  std::ofstream lab(labels, std::ios::binary);
+  WriteU32Be(lab, 0x00000801);
+  WriteU32Be(lab, static_cast<uint32_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const unsigned char v = static_cast<unsigned char>(i % 10);
+    lab.write(reinterpret_cast<const char*>(&v), 1);
+  }
+}
+
+/// Writes a tiny CIFAR-10 binary batch with n records.
+void WriteTinyCifar(const std::string& path, int n) {
+  std::ofstream out(path, std::ios::binary);
+  for (int i = 0; i < n; ++i) {
+    const unsigned char label = static_cast<unsigned char>(i % 10);
+    out.write(reinterpret_cast<const char*>(&label), 1);
+    for (int p = 0; p < 3 * 32 * 32; ++p) {
+      const unsigned char v = static_cast<unsigned char>((i + p) % 256);
+      out.write(reinterpret_cast<const char*>(&v), 1);
+    }
+  }
+}
+
+class LoadersTest : public ::testing::Test {
+ protected:
+  std::string Path(const std::string& name) {
+    created_.push_back(::testing::TempDir() + "/" + name);
+    return created_.back();
+  }
+  void TearDown() override {
+    for (const auto& p : created_) std::remove(p.c_str());
+  }
+  std::vector<std::string> created_;
+};
+
+TEST_F(LoadersTest, LoadsIdxPair) {
+  const std::string img = Path("ti-images"), lab = Path("ti-labels");
+  WriteTinyIdx(img, lab, /*n=*/12, /*rows=*/4, /*cols=*/5);
+  auto result = LoadIdx(img, lab);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const Dataset& d = result.ValueOrDie();
+  EXPECT_EQ(d.size(), 12);
+  EXPECT_EQ(d.sample_shape(), Shape({1, 4, 5}));
+  EXPECT_EQ(d.label(3), 3);
+  EXPECT_EQ(d.label(11), 1);
+  // Pixel scaling to [0, 1]: image 1, pixel 0 has raw value 7.
+  EXPECT_NEAR(d.sample(1)[0], 7.0f / 255.0f, 1e-6f);
+}
+
+TEST_F(LoadersTest, IdxMissingFile) {
+  EXPECT_TRUE(LoadIdx("/no/such/images", "/no/such/labels")
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(LoadersTest, IdxBadMagicRejected) {
+  const std::string img = Path("bad-images"), lab = Path("ok-labels");
+  {
+    std::ofstream out(img, std::ios::binary);
+    WriteU32Be(out, 0xDEADBEEF);
+    WriteU32Be(out, 1);
+    WriteU32Be(out, 2);
+    WriteU32Be(out, 2);
+  }
+  WriteTinyIdx(Path("tmp-img"), lab, 1, 2, 2);
+  EXPECT_TRUE(LoadIdx(img, lab).status().IsIoError());
+}
+
+TEST_F(LoadersTest, IdxCountMismatchRejected) {
+  const std::string img = Path("mm-images"), lab = Path("mm-labels");
+  WriteTinyIdx(img, lab, 5, 2, 2);
+  const std::string lab2 = Path("mm-labels2");
+  {
+    std::ofstream out(lab2, std::ios::binary);
+    WriteU32Be(out, 0x00000801);
+    WriteU32Be(out, 4);  // wrong count
+    for (int i = 0; i < 4; ++i) {
+      const char z = 0;
+      out.write(&z, 1);
+    }
+  }
+  EXPECT_TRUE(LoadIdx(img, lab2).status().IsInvalidArgument());
+}
+
+TEST_F(LoadersTest, IdxTruncatedDataRejected) {
+  const std::string img = Path("tr-images"), lab = Path("tr-labels");
+  WriteTinyIdx(img, lab, 3, 4, 4);
+  // Truncate the image file.
+  std::ofstream out(img, std::ios::binary | std::ios::in);
+  out.seekp(16 + 10);
+  out.close();
+  // Rewrite shorter: simplest is to write a header claiming more images.
+  {
+    std::ofstream img2(img, std::ios::binary);
+    WriteU32Be(img2, 0x00000803);
+    WriteU32Be(img2, 3);
+    WriteU32Be(img2, 4);
+    WriteU32Be(img2, 4);
+    for (int i = 0; i < 20; ++i) {  // only 20 of 48 bytes
+      const char z = 1;
+      img2.write(&z, 1);
+    }
+  }
+  EXPECT_TRUE(LoadIdx(img, lab).status().IsIoError());
+}
+
+TEST_F(LoadersTest, LoadsCifarBatch) {
+  const std::string path = Path("cifar_batch.bin");
+  WriteTinyCifar(path, 7);
+  auto result = LoadCifarBatch(path);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const Dataset& d = result.ValueOrDie();
+  EXPECT_EQ(d.size(), 7);
+  EXPECT_EQ(d.sample_shape(), Shape({3, 32, 32}));
+  EXPECT_EQ(d.label(4), 4);
+  // Pixel p of record i has raw value (i + p) % 256.
+  EXPECT_NEAR(d.sample(0)[0], 0.0f, 1e-6f);
+  EXPECT_NEAR(d.sample(0)[1], 1.0f / 255.0f, 1e-6f);
+  EXPECT_NEAR(d.sample(2)[0], 2.0f / 255.0f, 1e-6f);
+}
+
+TEST_F(LoadersTest, CifarPartialRecordRejected) {
+  const std::string path = Path("cifar_bad.bin");
+  WriteTinyCifar(path, 2);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    const char extra[10] = {0};
+    out.write(extra, sizeof(extra));
+  }
+  EXPECT_TRUE(LoadCifarBatch(path).status().IsIoError());
+}
+
+TEST_F(LoadersTest, CifarMissingFile) {
+  EXPECT_TRUE(LoadCifarBatch("/no/such/batch.bin").status().IsNotFound());
+}
+
+TEST_F(LoadersTest, LoadOrSynthesizeFallsBackToSynthetic) {
+  const SyntheticSpec spec = SyntheticBenchSpec(1, 8, 2, 1, 0.5f);
+  const DataSplit split =
+      LoadOrSynthesize("/definitely/not/a/dir", /*cifar_layout=*/false, spec);
+  EXPECT_EQ(split.train.size(), 20);
+  EXPECT_EQ(split.train.sample_shape(), Shape({1, 8, 8}));
+}
+
+TEST_F(LoadersTest, LoadOrSynthesizeEmptyDirGoesStraightToSynthetic) {
+  const SyntheticSpec spec = SyntheticBenchSpec(3, 8, 2, 1, 0.5f);
+  const DataSplit split = LoadOrSynthesize("", /*cifar_layout=*/true, spec);
+  EXPECT_EQ(split.train.sample_shape(), Shape({3, 8, 8}));
+}
+
+TEST_F(LoadersTest, CifarDirectoryLayout) {
+  const std::string dir = ::testing::TempDir();
+  for (int b = 1; b <= 5; ++b) {
+    const std::string path = dir + "/data_batch_" + std::to_string(b) + ".bin";
+    WriteTinyCifar(path, 6);
+    created_.push_back(path);
+  }
+  WriteTinyCifar(dir + "/test_batch.bin", 4);
+  created_.push_back(dir + "/test_batch.bin");
+
+  auto result = LoadCifarDirectory(dir);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->train.size(), 30);  // 5 batches x 6 records
+  EXPECT_EQ(result->test.size(), 4);
+  EXPECT_EQ(result->train.sample_shape(), Shape({3, 32, 32}));
+}
+
+TEST_F(LoadersTest, CifarDirectoryMissingBatchFails) {
+  const std::string dir = ::testing::TempDir() + "/empty_cifar";
+  EXPECT_FALSE(LoadCifarDirectory(dir).ok());
+}
+
+TEST_F(LoadersTest, MnistDirectoryLayout) {
+  const std::string dir = ::testing::TempDir();
+  WriteTinyIdx(dir + "/train-images-idx3-ubyte",
+               dir + "/train-labels-idx1-ubyte", 10, 3, 3);
+  WriteTinyIdx(dir + "/t10k-images-idx3-ubyte",
+               dir + "/t10k-labels-idx1-ubyte", 4, 3, 3);
+  created_.push_back(dir + "/train-images-idx3-ubyte");
+  created_.push_back(dir + "/train-labels-idx1-ubyte");
+  created_.push_back(dir + "/t10k-images-idx3-ubyte");
+  created_.push_back(dir + "/t10k-labels-idx1-ubyte");
+
+  auto result = LoadMnistDirectory(dir);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->train.size(), 10);
+  EXPECT_EQ(result->test.size(), 4);
+}
+
+}  // namespace
+}  // namespace fedadmm

@@ -1,0 +1,136 @@
+#include "data/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/model_zoo.h"
+
+namespace fedadmm {
+namespace {
+
+TEST(SyntheticTest, GeneratesRequestedCounts) {
+  SyntheticSpec spec = SyntheticBenchSpec(1, 8, 5, 2, 0.5f);
+  const DataSplit split = GenerateSynthetic(spec);
+  EXPECT_EQ(split.train.size(), 50);
+  EXPECT_EQ(split.test.size(), 20);
+  EXPECT_EQ(split.train.sample_shape(), Shape({1, 8, 8}));
+  EXPECT_EQ(split.train.num_classes(), 10);
+}
+
+TEST(SyntheticTest, BalancedClasses) {
+  SyntheticSpec spec = SyntheticBenchSpec(1, 8, 7, 3, 0.5f);
+  const DataSplit split = GenerateSynthetic(spec);
+  for (int count : split.train.ClassCounts()) EXPECT_EQ(count, 7);
+  for (int count : split.test.ClassCounts()) EXPECT_EQ(count, 3);
+}
+
+TEST(SyntheticTest, DeterministicForSameSpec) {
+  SyntheticSpec spec = SyntheticBenchSpec(1, 8, 3, 1, 0.5f);
+  const DataSplit a = GenerateSynthetic(spec);
+  const DataSplit b = GenerateSynthetic(spec);
+  ASSERT_EQ(a.train.size(), b.train.size());
+  for (int i = 0; i < a.train.size(); ++i) {
+    const auto sa = a.train.sample(i);
+    const auto sb = b.train.sample(i);
+    for (size_t k = 0; k < sa.size(); ++k) EXPECT_EQ(sa[k], sb[k]);
+  }
+}
+
+TEST(SyntheticTest, DifferentSeedsDiffer) {
+  SyntheticSpec s1 = SyntheticBenchSpec(1, 8, 3, 1, 0.5f);
+  SyntheticSpec s2 = s1;
+  s2.seed += 1;
+  const DataSplit a = GenerateSynthetic(s1);
+  const DataSplit b = GenerateSynthetic(s2);
+  const auto sa = a.train.sample(0);
+  const auto sb = b.train.sample(0);
+  double diff = 0.0;
+  for (size_t k = 0; k < sa.size(); ++k) {
+    diff += std::fabs(static_cast<double>(sa[k]) - sb[k]);
+  }
+  EXPECT_GT(diff, 0.1);
+}
+
+TEST(SyntheticTest, PresetShapesMatchRealDatasets) {
+  EXPECT_EQ(GenerateSynthetic(SyntheticMnistSpec(1, 1)).train.sample_shape(),
+            Shape({1, 28, 28}));
+  EXPECT_EQ(GenerateSynthetic(SyntheticFmnistSpec(1, 1)).train.sample_shape(),
+            Shape({1, 28, 28}));
+  EXPECT_EQ(GenerateSynthetic(SyntheticCifarSpec(1, 1)).train.sample_shape(),
+            Shape({3, 32, 32}));
+}
+
+TEST(SyntheticTest, PresetDifficultyOrdering) {
+  // CIFAR-like must be noisier than FMNIST-like, which is noisier than
+  // MNIST-like (matching the real datasets' relative difficulty).
+  EXPECT_LT(SyntheticMnistSpec().noise_stddev,
+            SyntheticFmnistSpec().noise_stddev);
+  EXPECT_LT(SyntheticFmnistSpec().noise_stddev,
+            SyntheticCifarSpec().noise_stddev);
+}
+
+TEST(SyntheticTest, TaskIsLearnableByCnn) {
+  // A small CNN trained centrally for a few epochs must beat chance by a
+  // wide margin — otherwise the federated experiments are meaningless.
+  SyntheticSpec spec = SyntheticBenchSpec(1, 12, 20, 10, 0.6f);
+  const DataSplit split = GenerateSynthetic(spec);
+
+  Rng rng(99);
+  ModelConfig config = BenchCnnConfig(1, 12);
+  auto model = BuildModel(config);
+  model->Initialize(&rng);
+
+  std::vector<int> all = split.train.AllIndices();
+  for (int epoch = 0; epoch < 8; ++epoch) {
+    rng.Shuffle(&all);
+    for (size_t start = 0; start < all.size(); start += 20) {
+      const size_t end = std::min(all.size(), start + 20);
+      std::vector<int> batch(all.begin() + static_cast<ptrdiff_t>(start),
+                             all.begin() + static_cast<ptrdiff_t>(end));
+      model->ZeroGrad();
+      model->ForwardBackward(split.train.MakeBatch(batch),
+                             split.train.MakeLabelBatch(batch));
+      model->SgdStep(0.1f);
+    }
+  }
+  const std::vector<int> test_idx = split.test.AllIndices();
+  Tensor logits = model->Predict(split.test.MakeBatch(test_idx));
+  const double acc = SoftmaxCrossEntropyLoss::Accuracy(
+      logits, split.test.MakeLabelBatch(test_idx));
+  EXPECT_GT(acc, 0.5);  // chance is 0.1
+}
+
+TEST(SyntheticTest, NoiseControlsDifficulty) {
+  // Mean within-class variance should grow with the noise parameter.
+  SyntheticSpec lo = SyntheticBenchSpec(1, 8, 10, 1, 0.1f);
+  SyntheticSpec hi = SyntheticBenchSpec(1, 8, 10, 1, 2.0f);
+  lo.jitter = hi.jitter = false;
+  const DataSplit a = GenerateSynthetic(lo);
+  const DataSplit b = GenerateSynthetic(hi);
+
+  auto within_class_spread = [](const Dataset& d) {
+    // Variance of pixel 0 among samples of class 0.
+    double sum = 0.0, sum_sq = 0.0;
+    int n = 0;
+    for (int i = 0; i < d.size(); ++i) {
+      if (d.label(i) != 0) continue;
+      const double v = d.sample(i)[0];
+      sum += v;
+      sum_sq += v * v;
+      ++n;
+    }
+    const double mean = sum / n;
+    return sum_sq / n - mean * mean;
+  };
+  EXPECT_LT(within_class_spread(a.train), within_class_spread(b.train));
+}
+
+TEST(SyntheticTest, ToStringDescribesSpec) {
+  const std::string s = SyntheticMnistSpec().ToString();
+  EXPECT_NE(s.find("28"), std::string::npos);
+  EXPECT_NE(s.find("10 classes"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fedadmm

@@ -1,0 +1,220 @@
+/// Unit tests of the FedSGD / FedAvg / FedProx update rules on analytic
+/// quadratic problems, where expected behaviour is checkable in closed form.
+
+#include <gtest/gtest.h>
+
+#include "fl/algorithms/fedavg.h"
+#include "fl/algorithms/fedprox.h"
+#include "fl/algorithms/fedsgd.h"
+#include "fl/quadratic_problem.h"
+#include "fl/selection.h"
+#include "fl/simulation.h"
+#include "tensor/vec.h"
+
+namespace fedadmm {
+namespace {
+
+QuadraticSpec Spec(double heterogeneity = 1.0) {
+  QuadraticSpec spec;
+  spec.num_clients = 8;
+  spec.dim = 10;
+  spec.heterogeneity = heterogeneity;
+  spec.seed = 21;
+  return spec;
+}
+
+AlgorithmContext Ctx(const QuadraticProblem& p) {
+  AlgorithmContext ctx;
+  ctx.num_clients = p.num_clients();
+  ctx.dim = p.dim();
+  return ctx;
+}
+
+TEST(FedSgdTest, ClientUploadsExactGradient) {
+  QuadraticProblem problem(Spec());
+  FedSgd algo(0.1f);
+  std::vector<float> theta(10, 0.5f);
+  algo.Setup(Ctx(problem), theta);
+
+  auto local = problem.MakeLocalProblem(3, 0);
+  const UpdateMessage msg =
+      algo.ClientUpdate(3, 0, theta, local.get(), Rng(1));
+  std::vector<float> expected(10);
+  problem.ClientGradient(3, theta, expected);
+  EXPECT_EQ(msg.delta, expected);
+  EXPECT_EQ(msg.client_id, 3);
+  EXPECT_EQ(msg.steps_run, 1);
+}
+
+TEST(FedSgdTest, ServerAppliesAveragedGradient) {
+  QuadraticProblem problem(Spec());
+  FedSgd algo(0.5f);
+  std::vector<float> theta(10, 0.0f);
+  algo.Setup(Ctx(problem), theta);
+
+  UpdateMessage m1, m2;
+  m1.delta.assign(10, 1.0f);
+  m2.delta.assign(10, 3.0f);
+  algo.ServerUpdate({m1, m2}, 0, &theta);
+  // θ -= 0.5 * mean([1, 3]) = 0.5 * 2 = 1.
+  for (float v : theta) EXPECT_FLOAT_EQ(v, -1.0f);
+}
+
+TEST(FedSgdTest, ConvergesOnQuadraticWithFullParticipation) {
+  QuadraticProblem problem(Spec());
+  FedSgd algo(0.1f);
+  FullParticipationSelector selector(problem.num_clients());
+  SimulationConfig config;
+  config.max_rounds = 300;
+  config.seed = 5;
+  config.num_threads = 2;
+  Simulation sim(&problem, &algo, &selector, config);
+  auto history = sim.Run();
+  ASSERT_TRUE(history.ok());
+  EXPECT_LT(problem.DistanceToOptimum(sim.theta()), 0.05);
+}
+
+TEST(FedAvgTest, DeltaIsLocalModelMinusTheta) {
+  QuadraticProblem problem(Spec());
+  LocalTrainSpec local;
+  local.learning_rate = 0.05f;
+  local.batch_size = 0;
+  local.max_epochs = 3;
+  FedAvg algo(local);
+  std::vector<float> theta(10, 1.0f);
+  algo.Setup(Ctx(problem), theta);
+
+  auto lp = problem.MakeLocalProblem(0, 0);
+  const UpdateMessage msg = algo.ClientUpdate(0, 0, theta, lp.get(), Rng(2));
+  // Replay the same three GD steps manually.
+  std::vector<float> w = theta;
+  std::vector<float> grad(10);
+  for (int e = 0; e < 3; ++e) {
+    problem.ClientGradient(0, w, grad);
+    vec::Axpy(-0.05f, grad, std::span<float>(w));
+  }
+  for (size_t i = 0; i < w.size(); ++i) {
+    EXPECT_NEAR(msg.delta[i], w[i] - theta[i], 1e-5f);
+  }
+  EXPECT_EQ(msg.epochs_run, 3);
+}
+
+TEST(FedAvgTest, ServerAveragesDeltas) {
+  QuadraticProblem problem(Spec());
+  LocalTrainSpec local;
+  FedAvg algo(local);
+  std::vector<float> theta(10, 0.0f);
+  algo.Setup(Ctx(problem), theta);
+  UpdateMessage m1, m2;
+  m1.delta.assign(10, 2.0f);
+  m2.delta.assign(10, 4.0f);
+  algo.ServerUpdate({m1, m2}, 0, &theta);
+  for (float v : theta) EXPECT_FLOAT_EQ(v, 3.0f);
+}
+
+TEST(FedAvgTest, FixedEpochsIgnoreHeterogeneityFlagWhenOff) {
+  QuadraticProblem problem(Spec());
+  LocalTrainSpec local;
+  local.max_epochs = 4;
+  local.variable_epochs = false;
+  FedAvg algo(local);
+  std::vector<float> theta(10, 0.0f);
+  algo.Setup(Ctx(problem), theta);
+  for (int round = 0; round < 5; ++round) {
+    auto lp = problem.MakeLocalProblem(1, 0);
+    const UpdateMessage msg =
+        algo.ClientUpdate(1, round, theta, lp.get(), Rng(round));
+    EXPECT_EQ(msg.epochs_run, 4);
+  }
+}
+
+TEST(FedProxTest, ProximalTermAnchorsToTheta) {
+  QuadraticProblem problem(Spec(/*heterogeneity=*/3.0));
+  LocalTrainSpec local;
+  local.learning_rate = 0.05f;
+  local.batch_size = 0;
+  local.max_epochs = 20;
+  local.variable_epochs = false;
+
+  std::vector<float> theta(10, 0.0f);
+  auto run = [&](float rho) {
+    FedProx algo(local, rho);
+    AlgorithmContext ctx;
+    ctx.num_clients = problem.num_clients();
+    ctx.dim = problem.dim();
+    algo.Setup(ctx, theta);
+    auto lp = problem.MakeLocalProblem(0, 0);
+    const UpdateMessage msg =
+        algo.ClientUpdate(0, 0, theta, lp.get(), Rng(3));
+    return vec::SquaredL2Norm(msg.delta);  // ||w+ - θ||²
+  };
+  // Stronger proximal pull keeps the local model closer to θ.
+  EXPECT_GT(run(0.0f), run(1.0f));
+  EXPECT_GT(run(1.0f), run(10.0f));
+}
+
+TEST(FedProxTest, RhoZeroMatchesFedAvgTrajectory) {
+  QuadraticProblem problem(Spec());
+  LocalTrainSpec local;
+  local.learning_rate = 0.05f;
+  local.batch_size = 2;
+  local.max_epochs = 3;
+  local.variable_epochs = false;
+
+  FedProx prox(local, /*rho=*/0.0f);
+  FedAvg avg(local);
+  std::vector<float> theta(10, 0.7f);
+  prox.Setup(Ctx(problem), theta);
+  avg.Setup(Ctx(problem), theta);
+
+  auto lp1 = problem.MakeLocalProblem(2, 0);
+  auto lp2 = problem.MakeLocalProblem(2, 0);
+  const UpdateMessage m_prox =
+      prox.ClientUpdate(2, 0, theta, lp1.get(), Rng(4));
+  const UpdateMessage m_avg = avg.ClientUpdate(2, 0, theta, lp2.get(), Rng(4));
+  ASSERT_EQ(m_prox.delta.size(), m_avg.delta.size());
+  for (size_t i = 0; i < m_prox.delta.size(); ++i) {
+    EXPECT_NEAR(m_prox.delta[i], m_avg.delta[i], 1e-6f);
+  }
+}
+
+TEST(FedProxTest, VariableEpochsVaryAcrossRoundsAndClients) {
+  QuadraticProblem problem(Spec());
+  LocalTrainSpec local;
+  local.max_epochs = 10;
+  local.variable_epochs = true;
+  FedProx algo(local, 0.1f);
+  std::vector<float> theta(10, 0.0f);
+  algo.Setup(Ctx(problem), theta);
+
+  std::set<int> epoch_counts;
+  for (int round = 0; round < 20; ++round) {
+    auto lp = problem.MakeLocalProblem(round % 8, 0);
+    const UpdateMessage msg = algo.ClientUpdate(
+        round % 8, round, theta, lp.get(), Rng(1000 + round));
+    EXPECT_GE(msg.epochs_run, 1);
+    EXPECT_LE(msg.epochs_run, 10);
+    epoch_counts.insert(msg.epochs_run);
+  }
+  EXPECT_GT(epoch_counts.size(), 2u);  // actually varies
+}
+
+TEST(BaselineBytesTest, SingleVectorUploadAndDownload) {
+  QuadraticProblem problem(Spec());
+  LocalTrainSpec local;
+  FedAvg avg(local);
+  FedProx prox(local, 0.1f);
+  FedSgd sgd(0.1f);
+  std::vector<float> theta(10, 0.0f);
+  for (FederatedAlgorithm* algo :
+       std::initializer_list<FederatedAlgorithm*>{&avg, &prox, &sgd}) {
+    algo->Setup(Ctx(problem), theta);
+    EXPECT_EQ(algo->DownloadBytesPerClient(), 10 * 4);
+    auto lp = problem.MakeLocalProblem(0, 0);
+    const UpdateMessage msg = algo->ClientUpdate(0, 0, theta, lp.get(), Rng(5));
+    EXPECT_EQ(msg.UploadBytes(), 10 * 4);
+  }
+}
+
+}  // namespace
+}  // namespace fedadmm

@@ -1,0 +1,154 @@
+#include "fl/quadratic_problem.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/vec.h"
+
+namespace fedadmm {
+namespace {
+
+QuadraticSpec SmallSpec() {
+  QuadraticSpec spec;
+  spec.num_clients = 5;
+  spec.dim = 8;
+  spec.seed = 42;
+  return spec;
+}
+
+TEST(SolveDenseTest, SolvesKnownSystem) {
+  // [2 1; 1 3] x = [3; 5] -> x = [4/5, 7/5].
+  auto x = SolveDense({2, 1, 1, 3}, 2, {3, 5}).ValueOrDie();
+  EXPECT_NEAR(x[0], 0.8, 1e-9);
+  EXPECT_NEAR(x[1], 1.4, 1e-9);
+}
+
+TEST(SolveDenseTest, NeedsPivoting) {
+  // Leading zero forces a row swap.
+  auto x = SolveDense({0, 1, 1, 0}, 2, {2, 3}).ValueOrDie();
+  EXPECT_NEAR(x[0], 3.0, 1e-9);
+  EXPECT_NEAR(x[1], 2.0, 1e-9);
+}
+
+TEST(SolveDenseTest, RejectsSingular) {
+  EXPECT_TRUE(SolveDense({1, 2, 2, 4}, 2, {1, 2}).status().IsInvalidArgument());
+}
+
+TEST(QuadraticProblemTest, OptimumIsStationary) {
+  QuadraticProblem problem(SmallSpec());
+  std::vector<float> opt(problem.optimum().begin(), problem.optimum().end());
+  // Sum of client gradients at the optimum must vanish.
+  std::vector<float> grad(static_cast<size_t>(problem.dim()));
+  std::vector<double> total(static_cast<size_t>(problem.dim()), 0.0);
+  for (int i = 0; i < problem.num_clients(); ++i) {
+    problem.ClientGradient(i, opt, grad);
+    for (size_t k = 0; k < total.size(); ++k) total[k] += grad[k];
+  }
+  for (double v : total) EXPECT_NEAR(v, 0.0, 1e-3);
+}
+
+TEST(QuadraticProblemTest, OptimumMinimizesGlobalObjective) {
+  QuadraticProblem problem(SmallSpec());
+  std::vector<float> opt(problem.optimum().begin(), problem.optimum().end());
+  const double at_opt = problem.GlobalObjective(opt);
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<float> perturbed = opt;
+    for (auto& v : perturbed) v += static_cast<float>(rng.Normal(0.0, 0.3));
+    EXPECT_GE(problem.GlobalObjective(perturbed), at_opt - 1e-6);
+  }
+}
+
+TEST(QuadraticProblemTest, GradientMatchesFiniteDifference) {
+  QuadraticProblem problem(SmallSpec());
+  Rng rng(5);
+  std::vector<float> w(static_cast<size_t>(problem.dim()));
+  for (auto& v : w) v = static_cast<float>(rng.Normal(0.0, 1.0));
+  std::vector<float> grad(w.size());
+  problem.ClientGradient(2, w, grad);
+
+  const double eps = 1e-3;
+  for (size_t k = 0; k < w.size(); ++k) {
+    std::vector<float> wp = w, wm = w;
+    wp[k] += static_cast<float>(eps);
+    wm[k] -= static_cast<float>(eps);
+    const double numeric =
+        (problem.ClientObjective(2, wp) - problem.ClientObjective(2, wm)) /
+        (2 * eps);
+    EXPECT_NEAR(grad[k], numeric, 1e-2);
+  }
+}
+
+TEST(QuadraticProblemTest, HeterogeneityDispersesClientOptima) {
+  QuadraticSpec homo = SmallSpec();
+  homo.heterogeneity = 0.0;
+  QuadraticSpec hetero = SmallSpec();
+  hetero.heterogeneity = 3.0;
+
+  auto local_optimum_spread = [](const QuadraticSpec& spec) {
+    QuadraticProblem problem(spec);
+    // Gradient norm of client 0 at the *global* optimum measures how far
+    // the global optimum is from the client's own optimum.
+    std::vector<float> opt(problem.optimum().begin(),
+                           problem.optimum().end());
+    std::vector<float> grad(static_cast<size_t>(problem.dim()));
+    problem.ClientGradient(0, opt, grad);
+    return vec::L2Norm(grad);
+  };
+  EXPECT_LT(local_optimum_spread(homo), 1e-3);
+  EXPECT_GT(local_optimum_spread(hetero), 0.1);
+}
+
+TEST(QuadraticProblemTest, EvaluateAccuracyIncreasesTowardOptimum) {
+  QuadraticProblem problem(SmallSpec());
+  std::vector<float> opt(problem.optimum().begin(), problem.optimum().end());
+  std::vector<float> far = opt;
+  for (auto& v : far) v += 2.0f;
+  const EvalResult at_opt = problem.Evaluate(opt, 0);
+  const EvalResult at_far = problem.Evaluate(far, 0);
+  EXPECT_GT(at_opt.accuracy, 0.99);
+  EXPECT_LT(at_far.accuracy, at_opt.accuracy);
+  EXPECT_LT(at_opt.loss, at_far.loss);
+}
+
+TEST(QuadraticProblemTest, LocalProblemGradientDescentConverges) {
+  QuadraticProblem problem(SmallSpec());
+  auto local = problem.MakeLocalProblem(1, 0);
+  EXPECT_EQ(local->dim(), 8);
+  EXPECT_EQ(local->num_samples(), SmallSpec().pseudo_samples);
+
+  std::vector<float> w(8, 0.0f);
+  std::vector<float> grad(8);
+  const float lr = 0.2f;
+  for (int step = 0; step < 400; ++step) {
+    local->FullLossGradient(w, grad);
+    vec::Axpy(-lr, grad, std::span<float>(w));
+  }
+  local->FullLossGradient(w, grad);
+  EXPECT_LT(vec::L2Norm(grad), 1e-3);
+}
+
+TEST(QuadraticProblemTest, EpochBatchesScaleWithBatchSize) {
+  QuadraticProblem problem(SmallSpec());  // pseudo_samples = 8
+  auto local = problem.MakeLocalProblem(0, 0);
+  Rng rng(1);
+  EXPECT_EQ(local->EpochBatches(0, &rng).size(), 1u);   // full batch
+  EXPECT_EQ(local->EpochBatches(2, &rng).size(), 4u);   // 8/2 steps
+  EXPECT_EQ(local->EpochBatches(3, &rng).size(), 3u);   // ceil(8/3)
+  EXPECT_EQ(local->EpochBatches(100, &rng).size(), 1u);
+}
+
+TEST(QuadraticProblemTest, LipschitzBoundDominatesCurvature) {
+  QuadraticSpec spec = SmallSpec();
+  QuadraticProblem problem(spec);
+  EXPECT_GE(problem.LipschitzBound(), spec.min_curvature);
+}
+
+TEST(QuadraticProblemTest, DeterministicForSeed) {
+  QuadraticProblem a(SmallSpec()), b(SmallSpec());
+  EXPECT_EQ(a.optimum(), b.optimum());
+}
+
+}  // namespace
+}  // namespace fedadmm

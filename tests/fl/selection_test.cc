@@ -1,0 +1,105 @@
+#include "fl/selection.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace fedadmm {
+namespace {
+
+TEST(UniformFractionTest, SelectsTenPercent) {
+  UniformFractionSelector sel(100, 0.1);
+  EXPECT_EQ(sel.clients_per_round(), 10);
+  Rng rng(1);
+  const auto s = sel.Select(0, &rng);
+  EXPECT_EQ(s.size(), 10u);
+  std::set<int> unique(s.begin(), s.end());
+  EXPECT_EQ(unique.size(), 10u);
+  for (int c : s) {
+    EXPECT_GE(c, 0);
+    EXPECT_LT(c, 100);
+  }
+}
+
+TEST(UniformFractionTest, AtLeastOneClient) {
+  UniformFractionSelector sel(7, 0.01);
+  EXPECT_EQ(sel.clients_per_round(), 1);
+  Rng rng(2);
+  EXPECT_EQ(sel.Select(0, &rng).size(), 1u);
+}
+
+TEST(UniformFractionTest, FullFractionSelectsAll) {
+  UniformFractionSelector sel(12, 1.0);
+  Rng rng(3);
+  const auto s = sel.Select(0, &rng);
+  std::set<int> unique(s.begin(), s.end());
+  EXPECT_EQ(unique.size(), 12u);
+}
+
+TEST(UniformFractionTest, EveryClientIsEventuallySelected) {
+  // Infinitely-often participation (Remark 2): over many rounds with
+  // uniform sampling, all clients must appear.
+  UniformFractionSelector sel(30, 0.1);
+  Rng rng(4);
+  std::set<int> seen;
+  for (int round = 0; round < 200; ++round) {
+    for (int c : sel.Select(round, &rng)) seen.insert(c);
+  }
+  EXPECT_EQ(seen.size(), 30u);
+}
+
+TEST(UniformFractionTest, SelectionIsUnbiased) {
+  UniformFractionSelector sel(20, 0.25);
+  Rng rng(5);
+  std::vector<int> counts(20, 0);
+  const int rounds = 4000;
+  for (int r = 0; r < rounds; ++r) {
+    for (int c : sel.Select(r, &rng)) ++counts[static_cast<size_t>(c)];
+  }
+  // Expected participation: rounds * 5/20 = 1000 per client.
+  for (int c : counts) EXPECT_NEAR(c, 1000, 120);
+}
+
+TEST(UniformFractionTest, NameMentionsFraction) {
+  EXPECT_NE(UniformFractionSelector(10, 0.1).name().find("0.1"),
+            std::string::npos);
+}
+
+TEST(BernoulliSelectorTest, NeverReturnsEmpty) {
+  BernoulliSelector sel(std::vector<double>(5, 0.05));
+  Rng rng(6);
+  for (int round = 0; round < 200; ++round) {
+    EXPECT_FALSE(sel.Select(round, &rng).empty());
+  }
+}
+
+TEST(BernoulliSelectorTest, RespectsHeterogeneousProbabilities) {
+  // Client 0 participates with p=0.9, client 1 with p=0.1.
+  BernoulliSelector sel({0.9, 0.1, 0.5});
+  Rng rng(7);
+  int c0 = 0, c1 = 0;
+  const int rounds = 2000;
+  for (int r = 0; r < rounds; ++r) {
+    for (int c : sel.Select(r, &rng)) {
+      if (c == 0) ++c0;
+      if (c == 1) ++c1;
+    }
+  }
+  EXPECT_GT(c0, c1 * 4);
+}
+
+TEST(BernoulliSelectorTest, NumClients) {
+  BernoulliSelector sel({0.5, 0.5, 0.5, 0.5});
+  EXPECT_EQ(sel.num_clients(), 4);
+}
+
+TEST(FullParticipationTest, SelectsEveryClientEveryRound) {
+  FullParticipationSelector sel(6);
+  Rng rng(8);
+  const auto s = sel.Select(0, &rng);
+  EXPECT_EQ(s, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+  EXPECT_EQ(sel.Select(17, &rng), s);
+}
+
+}  // namespace
+}  // namespace fedadmm

@@ -1,0 +1,98 @@
+#include "fl/types.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+namespace fedadmm {
+namespace {
+
+TEST(UpdateMessageTest, UploadBytesCountsBothPayloads) {
+  UpdateMessage msg;
+  msg.delta.resize(100);
+  EXPECT_EQ(msg.UploadBytes(), 400);
+  msg.delta2.resize(100);
+  EXPECT_EQ(msg.UploadBytes(), 800);  // SCAFFOLD doubles the upload
+}
+
+TEST(UpdateMessageTest, EmptyMessageIsFree) {
+  UpdateMessage msg;
+  EXPECT_EQ(msg.UploadBytes(), 0);  // FedPD non-communication round
+}
+
+RoundRecord MakeRecord(int round, double acc) {
+  RoundRecord r;
+  r.round = round;
+  r.test_accuracy = acc;
+  r.upload_bytes = 1000;
+  r.download_bytes = 2000;
+  return r;
+}
+
+TEST(HistoryTest, RoundsToAccuracyIsOneBased) {
+  History h;
+  h.Add(MakeRecord(0, 0.3));
+  h.Add(MakeRecord(1, 0.5));
+  h.Add(MakeRecord(2, 0.8));
+  EXPECT_EQ(h.RoundsToAccuracy(0.25), 1);
+  EXPECT_EQ(h.RoundsToAccuracy(0.5), 2);
+  EXPECT_EQ(h.RoundsToAccuracy(0.75), 3);
+  EXPECT_EQ(h.RoundsToAccuracy(0.9), -1);
+}
+
+TEST(HistoryTest, RoundsToAccuracySkipsNanRounds) {
+  History h;
+  h.Add(MakeRecord(0, std::numeric_limits<double>::quiet_NaN()));
+  h.Add(MakeRecord(1, 0.9));
+  EXPECT_EQ(h.RoundsToAccuracy(0.5), 2);
+}
+
+TEST(HistoryTest, FinalAndBestAccuracy) {
+  History h;
+  EXPECT_EQ(h.FinalAccuracy(), 0.0);
+  EXPECT_EQ(h.BestAccuracy(), 0.0);
+  h.Add(MakeRecord(0, 0.6));
+  h.Add(MakeRecord(1, 0.9));
+  h.Add(MakeRecord(2, 0.7));
+  EXPECT_DOUBLE_EQ(h.FinalAccuracy(), 0.7);
+  EXPECT_DOUBLE_EQ(h.BestAccuracy(), 0.9);
+  h.Add(MakeRecord(3, std::numeric_limits<double>::quiet_NaN()));
+  EXPECT_DOUBLE_EQ(h.FinalAccuracy(), 0.7);  // NaN skipped
+}
+
+TEST(HistoryTest, ByteTotals) {
+  History h;
+  h.Add(MakeRecord(0, 0.1));
+  h.Add(MakeRecord(1, 0.2));
+  EXPECT_EQ(h.TotalUploadBytes(), 2000);
+  EXPECT_EQ(h.TotalDownloadBytes(), 4000);
+}
+
+TEST(HistoryTest, WriteCsvProducesHeaderAndRows) {
+  History h;
+  h.Add(MakeRecord(0, 0.5));
+  const std::string path = ::testing::TempDir() + "/history_test.csv";
+  ASSERT_TRUE(h.WriteCsv(path).ok());
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_NE(line.find("test_accuracy"), std::string::npos);
+  std::getline(in, line);
+  EXPECT_NE(line.find("0.5"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(HistoryTest, SizeAndEmpty) {
+  History h;
+  EXPECT_TRUE(h.empty());
+  h.Add(MakeRecord(0, 0.1));
+  EXPECT_EQ(h.size(), 1);
+  EXPECT_FALSE(h.empty());
+}
+
+}  // namespace
+}  // namespace fedadmm

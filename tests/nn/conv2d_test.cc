@@ -1,0 +1,145 @@
+#include "nn/conv2d.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/flatten.h"
+#include "nn/test_util.h"
+
+namespace fedadmm {
+namespace {
+
+/// Reference direct convolution (cross-correlation) for validation.
+Tensor NaiveConv(const Tensor& input, const Tensor& weight,
+                 const Tensor& bias, int64_t stride, int64_t pad) {
+  const int64_t n = input.shape().dim(0), ic = input.shape().dim(1);
+  const int64_t h = input.shape().dim(2), w = input.shape().dim(3);
+  const int64_t oc = weight.shape().dim(0), k = weight.shape().dim(2);
+  const int64_t oh = (h + 2 * pad - k) / stride + 1;
+  const int64_t ow = (w + 2 * pad - k) / stride + 1;
+  Tensor out(Shape({n, oc, oh, ow}));
+  for (int64_t img = 0; img < n; ++img) {
+    for (int64_t o = 0; o < oc; ++o) {
+      for (int64_t y = 0; y < oh; ++y) {
+        for (int64_t x = 0; x < ow; ++x) {
+          double acc = bias[o];
+          for (int64_t c = 0; c < ic; ++c) {
+            for (int64_t ky = 0; ky < k; ++ky) {
+              for (int64_t kx = 0; kx < k; ++kx) {
+                const int64_t iy = y * stride - pad + ky;
+                const int64_t ix = x * stride - pad + kx;
+                if (iy < 0 || iy >= h || ix < 0 || ix >= w) continue;
+                acc += static_cast<double>(input.at(img, c, iy, ix)) *
+                       weight.at(o, c, ky, kx);
+              }
+            }
+          }
+          out.at(img, o, y, x) = static_cast<float>(acc);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+TEST(Conv2dTest, OutputShapeSameConv) {
+  Conv2d conv(1, 32, 5, 1, 2);
+  EXPECT_EQ(conv.OutputShape(Shape({4, 1, 28, 28})), Shape({4, 32, 28, 28}));
+}
+
+TEST(Conv2dTest, OutputShapeNoPad) {
+  Conv2d conv(3, 8, 3);
+  EXPECT_EQ(conv.OutputShape(Shape({2, 3, 10, 10})), Shape({2, 8, 8, 8}));
+}
+
+TEST(Conv2dTest, ParameterCount) {
+  Conv2d conv(3, 32, 5);
+  int64_t count = 0;
+  for (auto* p : conv.Parameters()) count += p->numel();
+  EXPECT_EQ(count, 32 * 3 * 5 * 5 + 32);
+}
+
+TEST(Conv2dTest, IdentityKernelPassthrough) {
+  Conv2d conv(1, 1, 1);
+  conv.weight().value = Tensor(Shape({1, 1, 1, 1}), {1.0f});
+  conv.bias().value.Zero();
+  Tensor x(Shape({1, 1, 3, 3}), {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  Tensor y = conv.Forward(x);
+  EXPECT_TRUE(y.AllClose(x));
+}
+
+class Conv2dForwardSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int, int>> {};
+
+TEST_P(Conv2dForwardSweep, MatchesNaiveConvolution) {
+  const auto [ic, oc, hw, kernel, pad] = GetParam();
+  Rng rng(static_cast<uint64_t>(ic * 1000 + oc * 100 + hw * 10 + kernel));
+  Conv2d conv(ic, oc, kernel, 1, pad);
+  conv.Initialize(&rng);
+  Tensor x(Shape({2, ic, hw, hw}));
+  x.FillNormal(&rng);
+  Tensor got = conv.Forward(x);
+  Tensor want = NaiveConv(x, conv.weight().value, conv.bias().value, 1, pad);
+  ASSERT_EQ(got.shape(), want.shape());
+  EXPECT_TRUE(got.AllClose(want, 1e-3f));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, Conv2dForwardSweep,
+    ::testing::Values(std::make_tuple(1, 4, 8, 3, 0),
+                      std::make_tuple(1, 4, 8, 3, 1),
+                      std::make_tuple(3, 2, 6, 5, 2),
+                      std::make_tuple(2, 3, 7, 3, 1),
+                      std::make_tuple(1, 8, 12, 5, 2)));
+
+TEST(Conv2dTest, BackwardGradientCheck) {
+  Rng rng(11);
+  auto net = std::make_unique<Sequential>();
+  net->Emplace<Conv2d>(1, 2, 3, 1, 1);
+  net->Emplace<Flatten>();
+  Model model(std::move(net), LossKind::kSoftmaxCrossEntropy);
+  model.Initialize(&rng);
+  Tensor x(Shape({2, 1, 4, 4}));
+  x.FillNormal(&rng, 0.0f, 0.5f);
+  // Flatten(2x2x4x4) -> 32 logits; use labels < 32.
+  const std::vector<int> labels{3, 17};
+  EXPECT_LT(testing::CheckModelGradient(&model, x, labels), 0.05);
+}
+
+TEST(Conv2dTest, StridedConvolutionMatchesNaive) {
+  Rng rng(13);
+  Conv2d conv(2, 3, 3, /*stride=*/2, /*padding=*/1);
+  conv.Initialize(&rng);
+  Tensor x(Shape({1, 2, 9, 9}));
+  x.FillNormal(&rng);
+  Tensor got = conv.Forward(x);
+  Tensor want = NaiveConv(x, conv.weight().value, conv.bias().value, 2, 1);
+  ASSERT_EQ(got.shape(), want.shape());
+  EXPECT_TRUE(got.AllClose(want, 1e-3f));
+}
+
+TEST(Conv2dTest, CloneIsDeep) {
+  Rng rng(17);
+  Conv2d conv(1, 2, 3);
+  conv.Initialize(&rng);
+  auto clone_layer = conv.Clone();
+  auto* clone = dynamic_cast<Conv2d*>(clone_layer.get());
+  ASSERT_NE(clone, nullptr);
+  EXPECT_TRUE(clone->weight().value.Equals(conv.weight().value));
+  clone->weight().value.Fill(0.0f);
+  EXPECT_FALSE(clone->weight().value.Equals(conv.weight().value));
+}
+
+TEST(Conv2dTest, BiasAppliedPerChannel) {
+  Conv2d conv(1, 2, 1);
+  conv.weight().value = Tensor(Shape({2, 1, 1, 1}), {0.0f, 0.0f});
+  conv.bias().value = Tensor(Shape({2}), {1.5f, -2.5f});
+  Tensor x(Shape({1, 1, 2, 2}), {0, 0, 0, 0});
+  Tensor y = conv.Forward(x);
+  for (int64_t i = 0; i < 4; ++i) {
+    EXPECT_FLOAT_EQ(y.at(0, 0, i / 2, i % 2), 1.5f);
+    EXPECT_FLOAT_EQ(y.at(0, 1, i / 2, i % 2), -2.5f);
+  }
+}
+
+}  // namespace
+}  // namespace fedadmm

@@ -1,0 +1,97 @@
+/// End-to-end backpropagation validation: every architecture family in the
+/// model zoo must agree with finite-difference gradients. This is the single
+/// most important correctness property of the NN substrate — every federated
+/// algorithm consumes these gradients.
+
+#include <gtest/gtest.h>
+
+#include "nn/model_zoo.h"
+#include "nn/test_util.h"
+
+namespace fedadmm {
+namespace {
+
+struct GradCheckCase {
+  std::string name;
+  ModelConfig config;
+  Shape input_shape;
+};
+
+class ModelGradientSweep : public ::testing::TestWithParam<GradCheckCase> {};
+
+TEST_P(ModelGradientSweep, BackpropMatchesFiniteDifferences) {
+  const GradCheckCase& c = GetParam();
+  Rng rng(0xFEED);
+  auto model = BuildModel(c.config);
+  model->Initialize(&rng);
+  // Keep parameter count small enough for finite differencing.
+  ASSERT_LT(model->NumParameters(), 4000) << c.name;
+
+  Tensor x(c.input_shape);
+  x.FillNormal(&rng, 0.0f, 0.7f);
+  std::vector<int> labels;
+  for (int64_t i = 0; i < c.input_shape.dim(0); ++i) {
+    labels.push_back(static_cast<int>(i % c.config.classes));
+  }
+  EXPECT_LT(testing::CheckModelGradient(model.get(), x, labels), 0.06)
+      << c.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Architectures, ModelGradientSweep,
+    ::testing::Values(
+        GradCheckCase{"tiny_cnn",
+                      [] {
+                        ModelConfig c = BenchCnnConfig(1, 8);
+                        c.conv1_channels = 2;
+                        c.conv2_channels = 3;
+                        c.hidden = 8;
+                        c.classes = 4;
+                        return c;
+                      }(),
+                      Shape({2, 1, 8, 8})},
+        GradCheckCase{"rgb_cnn",
+                      [] {
+                        ModelConfig c = BenchCnnConfig(3, 8);
+                        c.conv1_channels = 2;
+                        c.conv2_channels = 2;
+                        c.hidden = 6;
+                        c.classes = 3;
+                        return c;
+                      }(),
+                      Shape({2, 3, 8, 8})},
+        GradCheckCase{"mlp", MlpConfig(10, 12, 5), Shape({3, 10})},
+        GradCheckCase{"logistic", LogisticConfig(9, 4), Shape({4, 9})}),
+    [](const ::testing::TestParamInfo<GradCheckCase>& info) {
+      return info.param.name;
+    });
+
+TEST(GradientCheckTest, MseModelGradient) {
+  Rng rng(0xBEEF);
+  auto model = BuildModel(LinearRegressionConfig(5, 2));
+  model->Initialize(&rng);
+
+  Tensor x(Shape({4, 5}));
+  x.FillNormal(&rng);
+  Tensor targets(Shape({4, 2}));
+  targets.FillNormal(&rng);
+
+  std::vector<float> params;
+  model->GetParameters(&params);
+  model->ZeroGrad();
+  model->ForwardBackwardMse(x, targets);
+  std::vector<float> analytic;
+  model->GetGradients(&analytic);
+
+  auto loss_at = [&](const std::vector<float>& p) {
+    model->SetParameters(p);
+    Tensor preds = model->Predict(x);
+    MSELoss mse;
+    return mse.Forward(preds, targets);
+  };
+  const auto numeric = testing::NumericGradient(loss_at, params);
+  EXPECT_LT(testing::MaxGradientError(analytic, numeric), 0.02);
+}
+
+}  // namespace
+}  // namespace fedadmm

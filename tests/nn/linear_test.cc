@@ -1,0 +1,117 @@
+#include "nn/linear.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/test_util.h"
+#include "tensor/vec.h"
+
+namespace fedadmm {
+namespace {
+
+TEST(LinearTest, ForwardComputesAffineMap) {
+  Linear layer(2, 3);
+  // W = [[1,2],[3,4],[5,6]], b = [0.5, -0.5, 1].
+  layer.weight().value = Tensor(Shape({3, 2}), {1, 2, 3, 4, 5, 6});
+  layer.bias().value = Tensor(Shape({3}), {0.5f, -0.5f, 1.0f});
+  Tensor x(Shape({1, 2}), {10, 20});
+  Tensor y = layer.Forward(x);
+  ASSERT_EQ(y.shape(), Shape({1, 3}));
+  EXPECT_FLOAT_EQ(y.at(0, 0), 50.5f);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 109.5f);
+  EXPECT_FLOAT_EQ(y.at(0, 2), 171.0f);
+}
+
+TEST(LinearTest, NoBiasVariant) {
+  Linear layer(2, 2, /*with_bias=*/false);
+  EXPECT_EQ(layer.Parameters().size(), 1u);
+  layer.weight().value = Tensor(Shape({2, 2}), {1, 0, 0, 1});
+  Tensor x(Shape({1, 2}), {3, 4});
+  Tensor y = layer.Forward(x);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 4.0f);
+}
+
+TEST(LinearTest, ParameterCount) {
+  Linear layer(5, 7);
+  int64_t count = 0;
+  for (auto* p : layer.Parameters()) count += p->numel();
+  EXPECT_EQ(count, 5 * 7 + 7);
+}
+
+TEST(LinearTest, BackwardInputGradient) {
+  Linear layer(2, 2);
+  layer.weight().value = Tensor(Shape({2, 2}), {1, 2, 3, 4});
+  layer.bias().value.Zero();
+  Tensor x(Shape({1, 2}), {1, 1});
+  layer.Forward(x);
+  Tensor grad_out(Shape({1, 2}), {1, 0});
+  Tensor grad_in = layer.Backward(grad_out);
+  // dX = dY * W = [1, 0] * [[1,2],[3,4]] = [1, 2].
+  EXPECT_FLOAT_EQ(grad_in.at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(grad_in.at(0, 1), 2.0f);
+}
+
+TEST(LinearTest, BackwardAccumulatesParamGrads) {
+  Linear layer(2, 1);
+  layer.weight().value = Tensor(Shape({1, 2}), {1, 1});
+  Tensor x(Shape({2, 2}), {1, 2, 3, 4});
+  layer.Forward(x);
+  Tensor grad_out(Shape({2, 1}), {1, 1});
+  layer.Backward(grad_out);
+  // dW = dYᵀX = [1+3, 2+4]; db = 2.
+  EXPECT_FLOAT_EQ(layer.weight().grad[0], 4.0f);
+  EXPECT_FLOAT_EQ(layer.weight().grad[1], 6.0f);
+  EXPECT_FLOAT_EQ(layer.bias().grad[0], 2.0f);
+  // Second backward accumulates (no implicit zeroing).
+  layer.Forward(x);
+  layer.Backward(grad_out);
+  EXPECT_FLOAT_EQ(layer.weight().grad[0], 8.0f);
+}
+
+TEST(LinearTest, InitializeHeScaling) {
+  Rng rng(42);
+  Linear layer(1000, 4);
+  layer.Initialize(&rng);
+  const double norm_sq =
+      vec::SquaredL2Norm(std::span<const float>(layer.weight().value.vec()));
+  // He: each weight ~ N(0, 2/1000); expected sum of squares = 4000 * 0.002 = 8.
+  EXPECT_NEAR(norm_sq, 8.0, 2.0);
+  EXPECT_FLOAT_EQ(layer.bias().value[0], 0.0f);
+}
+
+TEST(LinearTest, CloneCopiesParametersNotCaches) {
+  Rng rng(1);
+  Linear layer(3, 2);
+  layer.Initialize(&rng);
+  auto clone = layer.Clone();
+  auto* copy = dynamic_cast<Linear*>(clone.get());
+  ASSERT_NE(copy, nullptr);
+  EXPECT_TRUE(copy->weight().value.Equals(layer.weight().value));
+  // Mutating the clone does not affect the original.
+  copy->weight().value.Fill(0.0f);
+  EXPECT_FALSE(copy->weight().value.Equals(layer.weight().value));
+}
+
+TEST(LinearTest, OutputShape) {
+  Linear layer(6, 4);
+  EXPECT_EQ(layer.OutputShape(Shape({10, 6})), Shape({10, 4}));
+}
+
+TEST(LinearTest, NameMentionsDims) {
+  EXPECT_EQ(Linear(3, 5).name(), "Linear(3->5)");
+}
+
+TEST(LinearTest, GradientCheckAgainstFiniteDifferences) {
+  Rng rng(7);
+  auto net = std::make_unique<Sequential>();
+  net->Emplace<Linear>(4, 3);
+  Model model(std::move(net), LossKind::kSoftmaxCrossEntropy);
+  model.Initialize(&rng);
+  Tensor x(Shape({5, 4}));
+  x.FillNormal(&rng);
+  const std::vector<int> labels{0, 1, 2, 1, 0};
+  EXPECT_LT(testing::CheckModelGradient(&model, x, labels), 0.05);
+}
+
+}  // namespace
+}  // namespace fedadmm

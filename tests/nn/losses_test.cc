@@ -1,0 +1,122 @@
+#include "nn/losses.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/test_util.h"
+
+namespace fedadmm {
+namespace {
+
+TEST(CrossEntropyTest, UniformLogitsGiveLogK) {
+  SoftmaxCrossEntropyLoss loss;
+  Tensor logits(Shape({2, 4}), 0.0f);
+  const double value = loss.Forward(logits, {0, 3});
+  EXPECT_NEAR(value, std::log(4.0), 1e-6);
+}
+
+TEST(CrossEntropyTest, ConfidentCorrectIsNearZero) {
+  SoftmaxCrossEntropyLoss loss;
+  Tensor logits(Shape({1, 3}), {20.0f, 0.0f, 0.0f});
+  EXPECT_LT(loss.Forward(logits, {0}), 1e-6);
+}
+
+TEST(CrossEntropyTest, ConfidentWrongIsLarge) {
+  SoftmaxCrossEntropyLoss loss;
+  Tensor logits(Shape({1, 3}), {20.0f, 0.0f, 0.0f});
+  EXPECT_GT(loss.Forward(logits, {1}), 10.0);
+}
+
+TEST(CrossEntropyTest, BackwardIsSoftmaxMinusOneHotOverN) {
+  SoftmaxCrossEntropyLoss loss;
+  Tensor logits(Shape({2, 2}), {1.0f, 1.0f, 2.0f, 0.0f});
+  loss.Forward(logits, {0, 1});
+  Tensor grad = loss.Backward();
+  // Row 0: softmax = [0.5, 0.5]; grad = ([0.5,0.5]-[1,0])/2 = [-0.25, 0.25].
+  EXPECT_NEAR(grad.at(0, 0), -0.25f, 1e-5f);
+  EXPECT_NEAR(grad.at(0, 1), 0.25f, 1e-5f);
+  // Gradient rows sum to zero (softmax simplex property).
+  EXPECT_NEAR(grad.at(1, 0) + grad.at(1, 1), 0.0f, 1e-6f);
+}
+
+TEST(CrossEntropyTest, GradMatchesFiniteDifference) {
+  Rng rng(5);
+  Tensor logits(Shape({3, 5}));
+  logits.FillNormal(&rng);
+  const std::vector<int> labels{1, 4, 0};
+
+  SoftmaxCrossEntropyLoss loss;
+  loss.Forward(logits, labels);
+  Tensor analytic = loss.Backward();
+
+  auto f = [&](const std::vector<float>& flat) {
+    SoftmaxCrossEntropyLoss l2;
+    return l2.Forward(Tensor(logits.shape(), flat), labels);
+  };
+  const auto numeric = testing::NumericGradient(f, logits.vec());
+  EXPECT_LT(testing::MaxGradientError(analytic.vec(), numeric), 0.02);
+}
+
+TEST(CrossEntropyTest, AccuracyCountsArgmaxMatches) {
+  Tensor logits(Shape({3, 3}), {5, 0, 0,  //
+                                0, 5, 0,  //
+                                0, 5, 0});
+  EXPECT_DOUBLE_EQ(
+      SoftmaxCrossEntropyLoss::Accuracy(logits, {0, 1, 2}), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(SoftmaxCrossEntropyLoss::Accuracy(logits, {0, 1, 1}), 1.0);
+}
+
+TEST(CrossEntropyTest, HandlesExtremeLogits) {
+  SoftmaxCrossEntropyLoss loss;
+  Tensor logits(Shape({1, 2}), {-1000.0f, 1000.0f});
+  const double value = loss.Forward(logits, {0});
+  EXPECT_TRUE(std::isfinite(value));
+  EXPECT_GT(value, 20.0);
+}
+
+TEST(MseTest, ZeroResidualZeroLoss) {
+  MSELoss loss;
+  Tensor pred(Shape({2, 3}), 1.0f);
+  Tensor target(Shape({2, 3}), 1.0f);
+  EXPECT_DOUBLE_EQ(loss.Forward(pred, target), 0.0);
+}
+
+TEST(MseTest, KnownValue) {
+  MSELoss loss;
+  Tensor pred(Shape({2, 1}), {1.0f, 3.0f});
+  Tensor target(Shape({2, 1}), {0.0f, 0.0f});
+  // 0.5 * (1 + 9) / 2 = 2.5.
+  EXPECT_DOUBLE_EQ(loss.Forward(pred, target), 2.5);
+}
+
+TEST(MseTest, BackwardIsResidualOverN) {
+  MSELoss loss;
+  Tensor pred(Shape({2, 1}), {1.0f, 3.0f});
+  Tensor target(Shape({2, 1}), {0.0f, 1.0f});
+  loss.Forward(pred, target);
+  Tensor grad = loss.Backward();
+  EXPECT_FLOAT_EQ(grad[0], 0.5f);
+  EXPECT_FLOAT_EQ(grad[1], 1.0f);
+}
+
+TEST(MseTest, GradMatchesFiniteDifference) {
+  Rng rng(9);
+  Tensor pred(Shape({4, 3}));
+  pred.FillNormal(&rng);
+  Tensor target(Shape({4, 3}));
+  target.FillNormal(&rng);
+
+  MSELoss loss;
+  loss.Forward(pred, target);
+  Tensor analytic = loss.Backward();
+  auto f = [&](const std::vector<float>& flat) {
+    MSELoss l2;
+    return l2.Forward(Tensor(pred.shape(), flat), target);
+  };
+  const auto numeric = testing::NumericGradient(f, pred.vec());
+  EXPECT_LT(testing::MaxGradientError(analytic.vec(), numeric), 0.02);
+}
+
+}  // namespace
+}  // namespace fedadmm

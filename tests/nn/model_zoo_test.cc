@@ -1,0 +1,124 @@
+#include "nn/model_zoo.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace fedadmm {
+namespace {
+
+// Table II of the paper: exact parameter counts of the two CNNs.
+constexpr int64_t kCnn1Params = 1663370;
+constexpr int64_t kCnn2Params = 1105098;
+
+TEST(ModelZooTest, PaperCnn1MatchesTable2ParameterCount) {
+  auto model = BuildModel(PaperCnn1Config());
+  EXPECT_EQ(model->NumParameters(), kCnn1Params);
+}
+
+TEST(ModelZooTest, PaperCnn2MatchesTable2ParameterCount) {
+  auto model = BuildModel(PaperCnn2Config());
+  EXPECT_EQ(model->NumParameters(), kCnn2Params);
+}
+
+TEST(ModelZooTest, PaperCnn1ForwardShape) {
+  Rng rng(1);
+  auto model = BuildModel(PaperCnn1Config());
+  model->Initialize(&rng);
+  Tensor x(Shape({2, 1, 28, 28}));
+  x.FillNormal(&rng);
+  Tensor logits = model->Predict(x);
+  EXPECT_EQ(logits.shape(), Shape({2, 10}));
+}
+
+TEST(ModelZooTest, PaperCnn2ForwardShape) {
+  Rng rng(2);
+  auto model = BuildModel(PaperCnn2Config());
+  model->Initialize(&rng);
+  Tensor x(Shape({1, 3, 32, 32}));
+  x.FillNormal(&rng);
+  Tensor logits = model->Predict(x);
+  EXPECT_EQ(logits.shape(), Shape({1, 10}));
+}
+
+TEST(ModelZooTest, BenchCnnForwardShapeAndTrainability) {
+  Rng rng(3);
+  const ModelConfig config = BenchCnnConfig(1, 12);
+  auto model = BuildModel(config);
+  model->Initialize(&rng);
+  Tensor x(Shape({4, 1, 12, 12}));
+  x.FillNormal(&rng);
+  EXPECT_EQ(model->Predict(x).shape(), Shape({4, 10}));
+
+  // A couple of SGD steps must reduce the loss on a fixed batch.
+  const std::vector<int> labels{0, 1, 2, 3};
+  model->ZeroGrad();
+  const double first = model->ForwardBackward(x, labels);
+  model->SgdStep(0.05f);
+  for (int i = 0; i < 20; ++i) {
+    model->ZeroGrad();
+    model->ForwardBackward(x, labels);
+    model->SgdStep(0.05f);
+  }
+  model->ZeroGrad();
+  const double last = model->ForwardBackward(x, labels);
+  EXPECT_LT(last, first);
+}
+
+TEST(ModelZooTest, BenchCnnScalesWithConfig) {
+  const auto small = BuildModel(BenchCnnConfig(1, 8));
+  const auto big = BuildModel(BenchCnnConfig(1, 16));
+  EXPECT_LT(small->NumParameters(), big->NumParameters());
+}
+
+TEST(ModelZooTest, MlpConfig) {
+  auto model = BuildModel(MlpConfig(20, 16, 5));
+  // 20*16+16 + 16*5+5 = 336 + 85 = 421.
+  EXPECT_EQ(model->NumParameters(), 421);
+  Rng rng(4);
+  model->Initialize(&rng);
+  Tensor x(Shape({3, 20}));
+  x.FillNormal(&rng);
+  EXPECT_EQ(model->Predict(x).shape(), Shape({3, 5}));
+}
+
+TEST(ModelZooTest, LinearRegressionUsesMse) {
+  auto model = BuildModel(LinearRegressionConfig(6, 2));
+  EXPECT_EQ(model->loss_kind(), LossKind::kMse);
+  EXPECT_EQ(model->NumParameters(), 6 * 2 + 2);
+}
+
+TEST(ModelZooTest, LogisticUsesCrossEntropy) {
+  auto model = BuildModel(LogisticConfig(6, 3));
+  EXPECT_EQ(model->loss_kind(), LossKind::kSoftmaxCrossEntropy);
+  EXPECT_EQ(model->NumParameters(), 6 * 3 + 3);
+}
+
+TEST(ModelZooTest, ConfigToStringNonEmpty) {
+  EXPECT_FALSE(PaperCnn1Config().ToString().empty());
+  EXPECT_FALSE(PaperCnn2Config().ToString().empty());
+  EXPECT_FALSE(BenchCnnConfig().ToString().empty());
+  EXPECT_FALSE(MlpConfig(4, 4, 2).ToString().empty());
+  EXPECT_FALSE(LinearRegressionConfig(4, 1).ToString().empty());
+  EXPECT_FALSE(LogisticConfig(4, 2).ToString().empty());
+}
+
+TEST(ModelZooTest, MlpAcceptsFourDimInput) {
+  // MLP begins with Flatten, so image tensors work directly.
+  Rng rng(5);
+  ModelConfig config;
+  config.arch = ModelConfig::Arch::kMlp;
+  config.in_channels = 1;
+  config.height = 4;
+  config.width = 4;
+  config.mlp_hidden = 8;
+  config.classes = 3;
+  auto model = BuildModel(config);
+  model->Initialize(&rng);
+  Tensor x(Shape({2, 1, 4, 4}));
+  x.FillNormal(&rng);
+  EXPECT_EQ(model->Predict(x).shape(), Shape({2, 3}));
+}
+
+}  // namespace
+}  // namespace fedadmm

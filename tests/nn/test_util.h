@@ -1,0 +1,73 @@
+/// \file test_util.h
+/// \brief Shared helpers for neural-network tests: finite-difference
+/// gradient checking of layers and models.
+
+#ifndef FEDADMM_TESTS_NN_TEST_UTIL_H_
+#define FEDADMM_TESTS_NN_TEST_UTIL_H_
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "nn/model.h"
+#include "util/rng.h"
+
+namespace fedadmm::testing {
+
+/// Computes the numeric gradient of `f` at `x` via central differences.
+inline std::vector<double> NumericGradient(
+    const std::function<double(const std::vector<float>&)>& f,
+    std::vector<float> x, double eps = 1e-3) {
+  std::vector<double> grad(x.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    const float orig = x[i];
+    x[i] = orig + static_cast<float>(eps);
+    const double plus = f(x);
+    x[i] = orig - static_cast<float>(eps);
+    const double minus = f(x);
+    x[i] = orig;
+    grad[i] = (plus - minus) / (2.0 * eps);
+  }
+  return grad;
+}
+
+/// Maximum relative error between analytic and numeric gradients, with an
+/// absolute floor to avoid division blow-ups near zero.
+inline double MaxGradientError(const std::vector<float>& analytic,
+                               const std::vector<double>& numeric,
+                               double floor = 1e-2) {
+  double worst = 0.0;
+  for (size_t i = 0; i < analytic.size(); ++i) {
+    const double denom =
+        std::max({std::fabs(static_cast<double>(analytic[i])),
+                  std::fabs(numeric[i]), floor});
+    worst = std::max(
+        worst,
+        std::fabs(static_cast<double>(analytic[i]) - numeric[i]) / denom);
+  }
+  return worst;
+}
+
+/// Checks a classification model's flat-parameter gradient on one batch
+/// against finite differences. Returns the max relative error.
+inline double CheckModelGradient(Model* model, const Tensor& inputs,
+                                 const std::vector<int>& labels) {
+  std::vector<float> params;
+  model->GetParameters(&params);
+  model->ZeroGrad();
+  model->ForwardBackward(inputs, labels);
+  std::vector<float> analytic;
+  model->GetGradients(&analytic);
+
+  auto loss_at = [&](const std::vector<float>& p) {
+    model->SetParameters(p);
+    return model->EvalLoss(inputs, labels);
+  };
+  const std::vector<double> numeric = NumericGradient(loss_at, params);
+  model->SetParameters(params);
+  return MaxGradientError(analytic, numeric);
+}
+
+}  // namespace fedadmm::testing
+
+#endif  // FEDADMM_TESTS_NN_TEST_UTIL_H_

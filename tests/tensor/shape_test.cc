@@ -1,0 +1,53 @@
+#include "tensor/shape.h"
+
+#include <gtest/gtest.h>
+
+namespace fedadmm {
+namespace {
+
+TEST(ShapeTest, DefaultIsScalarLike) {
+  Shape s;
+  EXPECT_EQ(s.ndim(), 0);
+  EXPECT_EQ(s.numel(), 1);
+}
+
+TEST(ShapeTest, InitializerList) {
+  Shape s({2, 3, 4});
+  EXPECT_EQ(s.ndim(), 3);
+  EXPECT_EQ(s.dim(0), 2);
+  EXPECT_EQ(s.dim(1), 3);
+  EXPECT_EQ(s.dim(2), 4);
+  EXPECT_EQ(s.numel(), 24);
+}
+
+TEST(ShapeTest, NegativeIndexing) {
+  Shape s({2, 3, 4});
+  EXPECT_EQ(s.dim(-1), 4);
+  EXPECT_EQ(s.dim(-3), 2);
+}
+
+TEST(ShapeTest, ZeroDimYieldsZeroNumel) {
+  Shape s({5, 0, 3});
+  EXPECT_EQ(s.numel(), 0);
+}
+
+TEST(ShapeTest, Equality) {
+  EXPECT_EQ(Shape({1, 2}), Shape({1, 2}));
+  EXPECT_NE(Shape({1, 2}), Shape({2, 1}));
+  EXPECT_NE(Shape({1, 2}), Shape({1, 2, 1}));
+}
+
+TEST(ShapeTest, ToString) {
+  EXPECT_EQ(Shape({32, 1, 28, 28}).ToString(), "[32, 1, 28, 28]");
+  EXPECT_EQ(Shape().ToString(), "[]");
+}
+
+TEST(ShapeTest, FromVector) {
+  std::vector<int64_t> dims{7, 8};
+  Shape s(dims);
+  EXPECT_EQ(s.numel(), 56);
+  EXPECT_EQ(s.dims(), dims);
+}
+
+}  // namespace
+}  // namespace fedadmm

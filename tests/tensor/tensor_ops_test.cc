@@ -1,0 +1,279 @@
+#include "tensor/tensor_ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace fedadmm {
+namespace {
+
+/// Reference O(mkn) matmul for validation.
+void NaiveMatMul(const std::vector<float>& a, const std::vector<float>& b,
+                 std::vector<float>* c, int64_t m, int64_t k, int64_t n) {
+  c->assign(static_cast<size_t>(m * n), 0.0f);
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int64_t p = 0; p < k; ++p) {
+        acc += static_cast<double>(a[static_cast<size_t>(i * k + p)]) *
+               b[static_cast<size_t>(p * n + j)];
+      }
+      (*c)[static_cast<size_t>(i * n + j)] = static_cast<float>(acc);
+    }
+  }
+}
+
+std::vector<float> RandomVec(size_t n, Rng* rng) {
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng->Normal(0.0, 1.0));
+  return v;
+}
+
+TEST(MatMulTest, SmallKnownProduct) {
+  // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+  std::vector<float> a{1, 2, 3, 4};
+  std::vector<float> b{5, 6, 7, 8};
+  std::vector<float> c(4);
+  ops::MatMul(a.data(), b.data(), c.data(), 2, 2, 2);
+  EXPECT_EQ(c, (std::vector<float>{19, 22, 43, 50}));
+}
+
+class MatMulSweep : public ::testing::TestWithParam<std::tuple<int, int, int>> {
+};
+
+TEST_P(MatMulSweep, MatchesNaive) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(static_cast<uint64_t>(m * 10007 + k * 101 + n));
+  const auto a = RandomVec(static_cast<size_t>(m * k), &rng);
+  const auto b = RandomVec(static_cast<size_t>(k * n), &rng);
+  std::vector<float> got(static_cast<size_t>(m * n));
+  std::vector<float> want;
+  ops::MatMul(a.data(), b.data(), got.data(), m, k, n);
+  NaiveMatMul(a, b, &want, m, k, n);
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got[i], want[i], 1e-3f) << "at " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, MatMulSweep,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(3, 5, 2),
+                      std::make_tuple(8, 8, 8), std::make_tuple(17, 31, 13),
+                      std::make_tuple(64, 65, 66), std::make_tuple(1, 128, 1),
+                      std::make_tuple(100, 1, 100)));
+
+TEST(MatMulTest, TransAMatchesExplicitTranspose) {
+  Rng rng(3);
+  const int m = 7, k = 11, n = 5;
+  // A stored [k, m]; logical product Aᵀ B.
+  const auto a = RandomVec(static_cast<size_t>(k * m), &rng);
+  const auto b = RandomVec(static_cast<size_t>(k * n), &rng);
+  std::vector<float> a_t(static_cast<size_t>(m * k));
+  for (int i = 0; i < k; ++i) {
+    for (int j = 0; j < m; ++j) {
+      a_t[static_cast<size_t>(j * k + i)] = a[static_cast<size_t>(i * m + j)];
+    }
+  }
+  std::vector<float> want;
+  NaiveMatMul(a_t, b, &want, m, k, n);
+  std::vector<float> got(static_cast<size_t>(m * n));
+  ops::MatMulTransA(a.data(), b.data(), got.data(), m, k, n);
+  for (size_t i = 0; i < got.size(); ++i) EXPECT_NEAR(got[i], want[i], 1e-4f);
+}
+
+TEST(MatMulTest, TransBMatchesExplicitTranspose) {
+  Rng rng(4);
+  const int m = 6, k = 9, n = 4;
+  const auto a = RandomVec(static_cast<size_t>(m * k), &rng);
+  // B stored [n, k]; logical product A Bᵀ.
+  const auto b = RandomVec(static_cast<size_t>(n * k), &rng);
+  std::vector<float> b_t(static_cast<size_t>(k * n));
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < k; ++j) {
+      b_t[static_cast<size_t>(j * n + i)] = b[static_cast<size_t>(i * k + j)];
+    }
+  }
+  std::vector<float> want;
+  NaiveMatMul(a, b_t, &want, m, k, n);
+  std::vector<float> got(static_cast<size_t>(m * n));
+  ops::MatMulTransB(a.data(), b.data(), got.data(), m, k, n);
+  for (size_t i = 0; i < got.size(); ++i) EXPECT_NEAR(got[i], want[i], 1e-4f);
+}
+
+TEST(MatMulTest, AccumAddsOntoExisting) {
+  std::vector<float> a{1, 0, 0, 1};  // identity
+  std::vector<float> b{5, 6, 7, 8};
+  std::vector<float> c{1, 1, 1, 1};
+  ops::MatMulAccum(a.data(), b.data(), c.data(), 2, 2, 2);
+  EXPECT_EQ(c, (std::vector<float>{6, 7, 8, 9}));
+}
+
+TEST(ConvOutDimTest, Formula) {
+  EXPECT_EQ(ops::ConvOutDim(28, 5, 1, 2), 28);  // "same" conv
+  EXPECT_EQ(ops::ConvOutDim(28, 2, 2, 0), 14);  // 2x2 pool
+  EXPECT_EQ(ops::ConvOutDim(5, 3, 1, 0), 3);
+  EXPECT_EQ(ops::ConvOutDim(5, 3, 2, 0), 2);
+}
+
+TEST(Im2ColTest, IdentityKernelNoPad) {
+  // 1x1 kernel: columns == image.
+  std::vector<float> img{1, 2, 3, 4};
+  std::vector<float> cols(4);
+  ops::Im2Col(img.data(), 1, 2, 2, 1, 1, 1, 1, 0, 0, cols.data());
+  EXPECT_EQ(cols, img);
+}
+
+TEST(Im2ColTest, KnownExpansion) {
+  // 1 channel, 3x3 image, 2x2 kernel, stride 1, no pad -> 4 rows x 4 cols.
+  std::vector<float> img{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<float> cols(4 * 4);
+  ops::Im2Col(img.data(), 1, 3, 3, 2, 2, 1, 1, 0, 0, cols.data());
+  // Row (kh=0, kw=0): top-left of each 2x2 window.
+  EXPECT_EQ(std::vector<float>(cols.begin(), cols.begin() + 4),
+            (std::vector<float>{1, 2, 4, 5}));
+  // Row (kh=1, kw=1): bottom-right of each window.
+  EXPECT_EQ(std::vector<float>(cols.begin() + 12, cols.begin() + 16),
+            (std::vector<float>{5, 6, 8, 9}));
+}
+
+TEST(Im2ColTest, PaddingProducesZeros) {
+  std::vector<float> img{1, 2, 3, 4};
+  // 3x3 kernel, pad 1 -> output 2x2, first row entry for (0,0) window is 0.
+  std::vector<float> cols(9 * 4);
+  ops::Im2Col(img.data(), 1, 2, 2, 3, 3, 1, 1, 1, 1, cols.data());
+  EXPECT_EQ(cols[0], 0.0f);  // (kh=0,kw=0) at output (0,0): off-image
+  // Center tap (kh=1, kw=1) equals the image itself.
+  const size_t center = 4 * 4;
+  EXPECT_EQ(std::vector<float>(cols.begin() + center,
+                               cols.begin() + center + 4),
+            img);
+}
+
+TEST(Col2ImTest, RoundTripAccumulatesOverlaps) {
+  // Col2Im(Im2Col(img)) multiplies each pixel by its window membership
+  // count. For 2x2 kernel stride 1 on 3x3: corners x1, edges x2, center x4.
+  std::vector<float> img{1, 1, 1, 1, 1, 1, 1, 1, 1};
+  std::vector<float> cols(4 * 4);
+  ops::Im2Col(img.data(), 1, 3, 3, 2, 2, 1, 1, 0, 0, cols.data());
+  std::vector<float> back(9, 0.0f);
+  ops::Col2Im(cols.data(), 1, 3, 3, 2, 2, 1, 1, 0, 0, back.data());
+  EXPECT_EQ(back, (std::vector<float>{1, 2, 1, 2, 4, 2, 1, 2, 1}));
+}
+
+TEST(MaxPoolTest, ForwardPicksMaxAndArgmax) {
+  // 1x1x4x4, 2x2 pool stride 2.
+  std::vector<float> in{1, 2, 5, 6,   //
+                        3, 4, 7, 8,   //
+                        9, 10, 13, 14,  //
+                        11, 12, 15, 16};
+  std::vector<float> out(4);
+  std::vector<int32_t> argmax(4);
+  ops::MaxPool2dForward(in.data(), 1, 1, 4, 4, 2, 2, out.data(),
+                        argmax.data());
+  EXPECT_EQ(out, (std::vector<float>{4, 8, 12, 16}));
+  EXPECT_EQ(argmax, (std::vector<int32_t>{5, 7, 13, 15}));
+}
+
+TEST(MaxPoolTest, BackwardScattersToArgmax) {
+  std::vector<float> grad_out{1, 2, 3, 4};
+  std::vector<int32_t> argmax{5, 7, 13, 15};
+  std::vector<float> grad_in(16, 0.0f);
+  ops::MaxPool2dBackward(grad_out.data(), argmax.data(), 4, grad_in.data());
+  EXPECT_EQ(grad_in[5], 1.0f);
+  EXPECT_EQ(grad_in[7], 2.0f);
+  EXPECT_EQ(grad_in[13], 3.0f);
+  EXPECT_EQ(grad_in[15], 4.0f);
+  float total = 0;
+  for (float v : grad_in) total += v;
+  EXPECT_EQ(total, 10.0f);
+}
+
+TEST(MaxPoolTest, NanInputsStillProduceValidArgmax) {
+  // Regression: with -inf seeding, an all-NaN window left argmax at -1 and
+  // the backward pass scattered out of bounds (heap corruption under
+  // diverging training). The argmax must always be a valid input index.
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  std::vector<float> in(16, nan);
+  std::vector<float> out(4);
+  std::vector<int32_t> argmax(4);
+  ops::MaxPool2dForward(in.data(), 1, 1, 4, 4, 2, 2, out.data(),
+                        argmax.data());
+  for (int32_t idx : argmax) {
+    EXPECT_GE(idx, 0);
+    EXPECT_LT(idx, 16);
+  }
+  // Backward through NaN argmax indices must not write out of bounds.
+  std::vector<float> grad_out{1, 2, 3, 4};
+  std::vector<float> grad_in(16, 0.0f);
+  ops::MaxPool2dBackward(grad_out.data(), argmax.data(), 4, grad_in.data());
+}
+
+TEST(MaxPoolTest, MixedNanWindowPrefersRealMax) {
+  // A window containing one NaN and larger real values still picks a valid
+  // index (NaN comparisons are false, so real values win once seen).
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  std::vector<float> in{nan, 5.0f, 3.0f, 4.0f};
+  std::vector<float> out(1);
+  std::vector<int32_t> argmax(1);
+  ops::MaxPool2dForward(in.data(), 1, 1, 2, 2, 2, 2, out.data(),
+                        argmax.data());
+  EXPECT_EQ(argmax[0], 1);
+  EXPECT_FLOAT_EQ(out[0], 5.0f);
+}
+
+TEST(ReluOpsTest, ForwardMasksNegatives) {
+  std::vector<float> x{-1, 0, 2, -3, 4};
+  std::vector<uint8_t> mask(5);
+  ops::ReluForward(x.data(), 5, mask.data());
+  EXPECT_EQ(x, (std::vector<float>{0, 0, 2, 0, 4}));
+  EXPECT_EQ(mask, (std::vector<uint8_t>{0, 0, 1, 0, 1}));
+}
+
+TEST(ReluOpsTest, BackwardUsesMask) {
+  std::vector<float> grad{1, 2, 3, 4, 5};
+  std::vector<uint8_t> mask{0, 0, 1, 0, 1};
+  std::vector<float> out(5);
+  ops::ReluBackward(grad.data(), mask.data(), 5, out.data());
+  EXPECT_EQ(out, (std::vector<float>{0, 0, 3, 0, 5}));
+}
+
+TEST(SoftmaxTest, RowsSumToOne) {
+  Rng rng(6);
+  const int rows = 4, cols = 10;
+  auto logits = RandomVec(static_cast<size_t>(rows * cols), &rng);
+  std::vector<float> probs(logits.size());
+  ops::SoftmaxRows(logits.data(), rows, cols, probs.data());
+  for (int r = 0; r < rows; ++r) {
+    double sum = 0.0;
+    for (int c = 0; c < cols; ++c) {
+      const float p = probs[static_cast<size_t>(r * cols + c)];
+      EXPECT_GT(p, 0.0f);
+      sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(SoftmaxTest, InvariantToConstantShift) {
+  std::vector<float> a{1, 2, 3};
+  std::vector<float> b{101, 102, 103};
+  std::vector<float> pa(3), pb(3);
+  ops::SoftmaxRows(a.data(), 1, 3, pa.data());
+  ops::SoftmaxRows(b.data(), 1, 3, pb.data());
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(pa[i], pb[i], 1e-6f);
+}
+
+TEST(SoftmaxTest, HandlesExtremeLogitsWithoutOverflow) {
+  std::vector<float> logits{1000.0f, -1000.0f, 0.0f};
+  std::vector<float> probs(3);
+  ops::SoftmaxRows(logits.data(), 1, 3, probs.data());
+  EXPECT_NEAR(probs[0], 1.0f, 1e-5f);
+  EXPECT_NEAR(probs[1], 0.0f, 1e-5f);
+  EXPECT_FALSE(std::isnan(probs[2]));
+}
+
+}  // namespace
+}  // namespace fedadmm

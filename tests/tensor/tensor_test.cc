@@ -1,0 +1,95 @@
+#include "tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+namespace fedadmm {
+namespace {
+
+TEST(TensorTest, ZeroInitialized) {
+  Tensor t(Shape({2, 3}));
+  EXPECT_EQ(t.numel(), 6);
+  for (int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(TensorTest, FillValueConstructor) {
+  Tensor t(Shape({4}), 2.5f);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_EQ(t[i], 2.5f);
+}
+
+TEST(TensorTest, AdoptData) {
+  Tensor t(Shape({2, 2}), std::vector<float>{1, 2, 3, 4});
+  EXPECT_EQ(t.at(0, 0), 1.0f);
+  EXPECT_EQ(t.at(0, 1), 2.0f);
+  EXPECT_EQ(t.at(1, 0), 3.0f);
+  EXPECT_EQ(t.at(1, 1), 4.0f);
+}
+
+TEST(TensorTest, FourDimIndexing) {
+  Tensor t(Shape({2, 3, 4, 5}));
+  t.at(1, 2, 3, 4) = 7.0f;
+  // Flat offset: ((1*3+2)*4+3)*5+4 = 119.
+  EXPECT_EQ(t[119], 7.0f);
+  EXPECT_EQ(t.at(1, 2, 3, 4), 7.0f);
+}
+
+TEST(TensorTest, FillAndZero) {
+  Tensor t(Shape({5}));
+  t.Fill(3.0f);
+  EXPECT_EQ(t[4], 3.0f);
+  t.Zero();
+  EXPECT_EQ(t[0], 0.0f);
+}
+
+TEST(TensorTest, FillNormalProducesVariedValues) {
+  Rng rng(1);
+  Tensor t(Shape({1000}));
+  t.FillNormal(&rng, 0.0f, 1.0f);
+  double sum = 0.0;
+  for (int64_t i = 0; i < t.numel(); ++i) sum += t[i];
+  EXPECT_NEAR(sum / static_cast<double>(t.numel()), 0.0, 0.15);
+}
+
+TEST(TensorTest, FillUniformRange) {
+  Rng rng(2);
+  Tensor t(Shape({100}));
+  t.FillUniform(&rng, -1.0f, 1.0f);
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    EXPECT_GE(t[i], -1.0f);
+    EXPECT_LT(t[i], 1.0f);
+  }
+}
+
+TEST(TensorTest, ReshapePreservesData) {
+  Tensor t(Shape({2, 3}), std::vector<float>{1, 2, 3, 4, 5, 6});
+  auto r = t.Reshape(Shape({3, 2}));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->shape(), Shape({3, 2}));
+  EXPECT_EQ(r->at(2, 1), 6.0f);
+}
+
+TEST(TensorTest, ReshapeBadNumelFails) {
+  Tensor t(Shape({2, 3}));
+  EXPECT_TRUE(t.Reshape(Shape({7})).status().IsInvalidArgument());
+}
+
+TEST(TensorTest, EqualsAndAllClose) {
+  Tensor a(Shape({3}), std::vector<float>{1, 2, 3});
+  Tensor b(Shape({3}), std::vector<float>{1, 2, 3});
+  Tensor c(Shape({3}), std::vector<float>{1, 2, 3.0001f});
+  EXPECT_TRUE(a.Equals(b));
+  EXPECT_FALSE(a.Equals(c));
+  EXPECT_TRUE(a.AllClose(c, 1e-3f));
+  EXPECT_FALSE(a.AllClose(c, 1e-6f));
+  Tensor d(Shape({3, 1}), std::vector<float>{1, 2, 3});
+  EXPECT_FALSE(a.AllClose(d));  // shape mismatch
+}
+
+TEST(TensorTest, CopyIsDeep) {
+  Tensor a(Shape({2}), std::vector<float>{1, 2});
+  Tensor b = a;
+  b[0] = 99.0f;
+  EXPECT_EQ(a[0], 1.0f);
+}
+
+}  // namespace
+}  // namespace fedadmm

@@ -1,0 +1,107 @@
+#include "tensor/vec.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace fedadmm {
+namespace {
+
+TEST(VecTest, Axpy) {
+  std::vector<float> x{1, 2, 3};
+  std::vector<float> y{10, 20, 30};
+  vec::Axpy(2.0f, x, y);
+  EXPECT_EQ(y, (std::vector<float>{12, 24, 36}));
+}
+
+TEST(VecTest, Scale) {
+  std::vector<float> x{1, -2, 3};
+  vec::Scale(-0.5f, x);
+  EXPECT_EQ(x, (std::vector<float>{-0.5f, 1.0f, -1.5f}));
+}
+
+TEST(VecTest, CopyAndZero) {
+  std::vector<float> x{1, 2, 3};
+  std::vector<float> y(3);
+  vec::Copy(x, y);
+  EXPECT_EQ(y, x);
+  vec::Zero(y);
+  EXPECT_EQ(y, (std::vector<float>{0, 0, 0}));
+}
+
+TEST(VecTest, EmptySpansAreFine) {
+  std::vector<float> empty;
+  vec::Copy(empty, empty);
+  vec::Zero(empty);
+  vec::Axpy(1.0f, empty, empty);
+  EXPECT_EQ(vec::Dot(empty, empty), 0.0);
+  EXPECT_EQ(vec::L2Norm(empty), 0.0);
+}
+
+TEST(VecTest, DotAndNorms) {
+  std::vector<float> x{3, 4};
+  std::vector<float> y{1, 2};
+  EXPECT_DOUBLE_EQ(vec::Dot(x, y), 11.0);
+  EXPECT_DOUBLE_EQ(vec::SquaredL2Norm(x), 25.0);
+  EXPECT_DOUBLE_EQ(vec::L2Norm(x), 5.0);
+}
+
+TEST(VecTest, SquaredDistance) {
+  std::vector<float> x{1, 2, 3};
+  std::vector<float> y{4, 6, 3};
+  EXPECT_DOUBLE_EQ(vec::SquaredDistance(x, y), 9.0 + 16.0);
+}
+
+TEST(VecTest, AddScaled) {
+  std::vector<float> x{1, 2};
+  std::vector<float> y{10, 20};
+  std::vector<float> out(2);
+  vec::AddScaled(x, 0.1f, y, out);
+  EXPECT_FLOAT_EQ(out[0], 2.0f);
+  EXPECT_FLOAT_EQ(out[1], 4.0f);
+}
+
+TEST(VecTest, AddScaledAliasesFirstOperand) {
+  std::vector<float> x{1, 2};
+  std::vector<float> y{10, 20};
+  vec::AddScaled(x, 1.0f, y, x);
+  EXPECT_EQ(x, (std::vector<float>{11, 22}));
+}
+
+TEST(VecTest, Sub) {
+  std::vector<float> x{5, 7};
+  std::vector<float> y{2, 3};
+  std::vector<float> out(2);
+  vec::Sub(x, y, out);
+  EXPECT_EQ(out, (std::vector<float>{3, 4}));
+  vec::Sub(x, x, x);
+  EXPECT_EQ(x, (std::vector<float>{0, 0}));
+}
+
+TEST(VecTest, Mean) {
+  std::vector<float> a{1, 2};
+  std::vector<float> b{3, 6};
+  std::vector<float> out(2);
+  vec::Mean({std::span<const float>(a), std::span<const float>(b)}, out);
+  EXPECT_FLOAT_EQ(out[0], 2.0f);
+  EXPECT_FLOAT_EQ(out[1], 4.0f);
+}
+
+TEST(VecTest, MaxAbs) {
+  std::vector<float> x{1, -7, 3};
+  EXPECT_FLOAT_EQ(vec::MaxAbs(x), 7.0f);
+  std::vector<float> empty;
+  EXPECT_FLOAT_EQ(vec::MaxAbs(empty), 0.0f);
+}
+
+TEST(VecTest, DotIsAccumulatedInDouble) {
+  // Large vector of small values: float accumulation would lose precision.
+  const size_t n = 1 << 20;
+  std::vector<float> x(n, 1e-3f);
+  const double dot = vec::Dot(x, x);
+  EXPECT_NEAR(dot, static_cast<double>(n) * 1e-6, 1e-3);
+}
+
+}  // namespace
+}  // namespace fedadmm

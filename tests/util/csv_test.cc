@@ -1,0 +1,84 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace fedadmm {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_ = ::testing::TempDir() + "/fedadmm_csv_test.csv";
+};
+
+TEST_F(CsvTest, WritesSimpleRows) {
+  CsvWriter w;
+  ASSERT_TRUE(w.Open(path_).ok());
+  ASSERT_TRUE(w.WriteRow({"a", "b", "c"}).ok());
+  ASSERT_TRUE(w.WriteRow({"1", "2", "3"}).ok());
+  ASSERT_TRUE(w.Close().ok());
+  EXPECT_EQ(ReadFile(path_), "a,b,c\n1,2,3\n");
+}
+
+TEST_F(CsvTest, QuotesSpecialCharacters) {
+  CsvWriter w;
+  ASSERT_TRUE(w.Open(path_).ok());
+  ASSERT_TRUE(w.WriteRow({"has,comma", "has\"quote", "plain"}).ok());
+  ASSERT_TRUE(w.Close().ok());
+  EXPECT_EQ(ReadFile(path_), "\"has,comma\",\"has\"\"quote\",plain\n");
+}
+
+TEST_F(CsvTest, NumericRowFormatting) {
+  CsvWriter w;
+  ASSERT_TRUE(w.Open(path_).ok());
+  ASSERT_TRUE(w.WriteNumericRow({1.0, 0.5, 100000.0}).ok());
+  ASSERT_TRUE(w.Close().ok());
+  EXPECT_EQ(ReadFile(path_), "1,0.5,100000\n");
+}
+
+TEST_F(CsvTest, WriteWithoutOpenFails) {
+  CsvWriter w;
+  EXPECT_TRUE(w.WriteRow({"x"}).IsFailedPrecondition());
+}
+
+TEST_F(CsvTest, OpenBadPathFails) {
+  CsvWriter w;
+  EXPECT_TRUE(w.Open("/nonexistent_dir_zzz/file.csv").IsIoError());
+}
+
+TEST_F(CsvTest, CloseWithoutOpenIsOk) {
+  CsvWriter w;
+  EXPECT_TRUE(w.Close().ok());
+}
+
+TEST_F(CsvTest, EscapeFieldStandalone) {
+  EXPECT_EQ(CsvWriter::EscapeField("plain"), "plain");
+  EXPECT_EQ(CsvWriter::EscapeField("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::EscapeField("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::EscapeField("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST_F(CsvTest, ReopenTruncates) {
+  CsvWriter w;
+  ASSERT_TRUE(w.Open(path_).ok());
+  ASSERT_TRUE(w.WriteRow({"old"}).ok());
+  ASSERT_TRUE(w.Close().ok());
+  ASSERT_TRUE(w.Open(path_).ok());
+  ASSERT_TRUE(w.WriteRow({"new"}).ok());
+  ASSERT_TRUE(w.Close().ok());
+  EXPECT_EQ(ReadFile(path_), "new\n");
+}
+
+}  // namespace
+}  // namespace fedadmm

@@ -1,0 +1,72 @@
+#include "util/env.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace fedadmm {
+namespace {
+
+class EnvTest : public ::testing::Test {
+ protected:
+  void SetEnv(const char* name, const char* value) {
+    ::setenv(name, value, /*overwrite=*/1);
+  }
+  void TearDown() override {
+    ::unsetenv("FEDADMM_TEST_VAR");
+  }
+};
+
+TEST_F(EnvTest, StringFallbackWhenUnset) {
+  ::unsetenv("FEDADMM_TEST_VAR");
+  EXPECT_EQ(GetEnvString("FEDADMM_TEST_VAR", "dflt"), "dflt");
+}
+
+TEST_F(EnvTest, StringReadsValue) {
+  SetEnv("FEDADMM_TEST_VAR", "hello");
+  EXPECT_EQ(GetEnvString("FEDADMM_TEST_VAR", "dflt"), "hello");
+}
+
+TEST_F(EnvTest, EmptyStringUsesFallback) {
+  SetEnv("FEDADMM_TEST_VAR", "");
+  EXPECT_EQ(GetEnvString("FEDADMM_TEST_VAR", "dflt"), "dflt");
+}
+
+TEST_F(EnvTest, IntParsesAndFallsBack) {
+  SetEnv("FEDADMM_TEST_VAR", "123");
+  EXPECT_EQ(GetEnvInt("FEDADMM_TEST_VAR", 7), 123);
+  SetEnv("FEDADMM_TEST_VAR", "-45");
+  EXPECT_EQ(GetEnvInt("FEDADMM_TEST_VAR", 7), -45);
+  SetEnv("FEDADMM_TEST_VAR", "notanint");
+  EXPECT_EQ(GetEnvInt("FEDADMM_TEST_VAR", 7), 7);
+  SetEnv("FEDADMM_TEST_VAR", "12abc");
+  EXPECT_EQ(GetEnvInt("FEDADMM_TEST_VAR", 7), 7);
+  ::unsetenv("FEDADMM_TEST_VAR");
+  EXPECT_EQ(GetEnvInt("FEDADMM_TEST_VAR", 7), 7);
+}
+
+TEST_F(EnvTest, DoubleParsesAndFallsBack) {
+  SetEnv("FEDADMM_TEST_VAR", "0.5");
+  EXPECT_DOUBLE_EQ(GetEnvDouble("FEDADMM_TEST_VAR", 1.0), 0.5);
+  SetEnv("FEDADMM_TEST_VAR", "1e-3");
+  EXPECT_DOUBLE_EQ(GetEnvDouble("FEDADMM_TEST_VAR", 1.0), 1e-3);
+  SetEnv("FEDADMM_TEST_VAR", "oops");
+  EXPECT_DOUBLE_EQ(GetEnvDouble("FEDADMM_TEST_VAR", 1.0), 1.0);
+}
+
+TEST_F(EnvTest, BoolRecognizesTruthyStrings) {
+  for (const char* v : {"1", "true", "TRUE", "on", "yes", "Yes"}) {
+    SetEnv("FEDADMM_TEST_VAR", v);
+    EXPECT_TRUE(GetEnvBool("FEDADMM_TEST_VAR", false)) << v;
+  }
+  for (const char* v : {"0", "false", "off", "no", "banana"}) {
+    SetEnv("FEDADMM_TEST_VAR", v);
+    EXPECT_FALSE(GetEnvBool("FEDADMM_TEST_VAR", true)) << v;
+  }
+  ::unsetenv("FEDADMM_TEST_VAR");
+  EXPECT_TRUE(GetEnvBool("FEDADMM_TEST_VAR", true));
+  EXPECT_FALSE(GetEnvBool("FEDADMM_TEST_VAR", false));
+}
+
+}  // namespace
+}  // namespace fedadmm

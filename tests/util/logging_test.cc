@@ -1,0 +1,43 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace fedadmm {
+namespace {
+
+TEST(LoggingTest, SetAndGetLevel) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, SuppressedMessagesDoNotCrash) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kOff);
+  FEDADMM_LOG(Debug) << "hidden " << 42;
+  FEDADMM_LOG(Info) << "hidden " << 3.14;
+  FEDADMM_LOG(Warning) << "hidden";
+  FEDADMM_LOG(Error) << "hidden";
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, EmittedMessagesDoNotCrash) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kDebug);
+  FEDADMM_LOG(Debug) << "visible debug from logging_test";
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, StreamsManyTypes) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kOff);
+  FEDADMM_LOG(Info) << "int=" << 1 << " double=" << 2.5 << " str="
+                    << std::string("s") << " bool=" << true;
+  SetLogLevel(original);
+}
+
+}  // namespace
+}  // namespace fedadmm
