@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/fedadmm.h"
+#include "fl/quadratic_problem.h"
+#include "tensor/vec.h"
+
+namespace fedadmm {
+namespace {
+
+QuadraticSpec Spec() {
+  QuadraticSpec spec;
+  spec.num_clients = 5;
+  spec.dim = 6;
+  spec.heterogeneity = 1.0;
+  spec.seed = 77;
+  return spec;
+}
+
+AlgorithmContext Ctx(const QuadraticProblem& p) {
+  AlgorithmContext ctx;
+  ctx.num_clients = p.num_clients();
+  ctx.dim = p.dim();
+  return ctx;
+}
+
+FedAdmmOptions Options(float rho) {
+  FedAdmmOptions options;
+  options.local.learning_rate = 0.05f;
+  options.local.batch_size = 0;
+  options.local.max_epochs = 3;
+  options.local.variable_epochs = false;
+  options.rho = StepSchedule(rho);
+  return options;
+}
+
+TEST(DualUpdateTest, DualAscentAccumulatesAcrossRounds) {
+  QuadraticProblem problem(Spec());
+  const float rho = 1.25f;
+  FedAdmm algo(Options(rho));
+  std::vector<float> theta(6, 0.2f);
+  algo.Setup(Ctx(problem), theta);
+
+  // Round 0: y⁰ = 0, so y¹ = ρ(w¹ − θ⁰).
+  auto lp0 = problem.MakeLocalProblem(0, 0);
+  algo.ClientUpdate(0, 0, theta, lp0.get(), Rng(11));
+  std::vector<float> y_after_r0 = algo.client_dual(0);
+  for (size_t k = 0; k < y_after_r0.size(); ++k) {
+    EXPECT_NEAR(y_after_r0[k], rho * (algo.client_model(0)[k] - theta[k]),
+                1e-5f);
+  }
+
+  // Round 1 with a different θ: y² = y¹ + ρ(w² − θ¹) — the ascent
+  // accumulates rather than restarting from zero.
+  std::vector<float> theta1(6, -0.4f);
+  auto lp1 = problem.MakeLocalProblem(0, 1);
+  algo.ClientUpdate(0, 1, theta1, lp1.get(), Rng(12));
+  const auto& y = algo.client_dual(0);
+  for (size_t k = 0; k < y.size(); ++k) {
+    EXPECT_NEAR(y[k],
+                y_after_r0[k] + rho * (algo.client_model(0)[k] - theta1[k]),
+                1e-5f);
+  }
+}
+
+TEST(DualUpdateTest, DualAscentUsesRhoInEffectAtRound) {
+  QuadraticProblem problem(Spec());
+  FedAdmmOptions options = Options(0.5f);
+  options.rho.AddSwitch(3, 2.0);  // Fig. 9-style dynamic ρ.
+  FedAdmm algo(options);
+  std::vector<float> theta(6, 0.0f);
+  algo.Setup(Ctx(problem), theta);
+
+  auto lp = problem.MakeLocalProblem(2, 3);
+  algo.ClientUpdate(2, /*round=*/3, theta, lp.get(), Rng(13));
+  const auto& w = algo.client_model(2);
+  const auto& y = algo.client_dual(2);
+  // y⁰ = 0 and the round-3 ρ is 2.0, so y = 2.0 (w − θ).
+  for (size_t k = 0; k < y.size(); ++k) {
+    EXPECT_NEAR(y[k], 2.0f * (w[k] - theta[k]), 1e-5f);
+  }
+}
+
+TEST(DualUpdateTest, FreezeDualsKeepsEveryDualIdenticallyZero) {
+  QuadraticProblem problem(Spec());
+  FedAdmmOptions options = Options(1.0f);
+  options.freeze_duals = true;  // the FedProx reduction knob
+  FedAdmm algo(options);
+  std::vector<float> theta(6, 0.3f);
+  algo.Setup(Ctx(problem), theta);
+
+  // Several rounds over every client: duals stay exactly zero even though
+  // the primal iterates move away from θ.
+  for (int round = 0; round < 4; ++round) {
+    for (int i = 0; i < problem.num_clients(); ++i) {
+      auto lp = problem.MakeLocalProblem(i, round);
+      algo.ClientUpdate(i, round, theta, lp.get(), Rng(100 + round * 10 + i));
+      for (float v : algo.client_dual(i)) EXPECT_EQ(v, 0.0f);
+      EXPECT_EQ(vec::L2Norm(algo.client_dual(i)), 0.0);
+    }
+  }
+  EXPECT_NE(algo.client_model(0), theta);
+}
+
+TEST(DualUpdateTest, FrozenDualDeltaIsPlainModelDelta) {
+  QuadraticProblem problem(Spec());
+  FedAdmmOptions options = Options(1.0f);
+  options.freeze_duals = true;
+  FedAdmm algo(options);
+  std::vector<float> theta(6, 0.0f);
+  algo.Setup(Ctx(problem), theta);
+
+  // With y ≡ 0 the augmented model u = w, so Δ = w⁺ − w.
+  std::vector<float> w_prev = algo.client_model(1);
+  auto lp = problem.MakeLocalProblem(1, 0);
+  const UpdateMessage msg = algo.ClientUpdate(1, 0, theta, lp.get(), Rng(14));
+  for (size_t k = 0; k < msg.delta.size(); ++k) {
+    EXPECT_NEAR(msg.delta[k], algo.client_model(1)[k] - w_prev[k], 1e-6f);
+  }
+}
+
+}  // namespace
+}  // namespace fedadmm

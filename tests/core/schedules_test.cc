@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace fedadmm {
 namespace {
 
@@ -44,6 +46,51 @@ TEST(StepScheduleTest, ToStringListsSwitches) {
   const std::string str = s.ToString();
   EXPECT_NE(str.find("0.5"), std::string::npos);
   EXPECT_NE(str.find("60"), std::string::npos);
+}
+
+TEST(StepScheduleTest, SwitchAtRoundZeroOverridesInitial) {
+  StepSchedule s(1.0);
+  s.AddSwitch(0, 0.25);
+  EXPECT_DOUBLE_EQ(s.At(0), 0.25);
+  EXPECT_DOUBLE_EQ(s.At(1), 0.25);
+  // Rounds before the switch (never scheduled in practice) see the initial.
+  EXPECT_DOUBLE_EQ(s.At(-1), 1.0);
+}
+
+TEST(StepScheduleTest, NegativeRoundsSeeInitialValue) {
+  StepSchedule s(0.75);
+  s.AddSwitch(10, 0.1);
+  EXPECT_DOUBLE_EQ(s.At(-1), 0.75);
+  EXPECT_DOUBLE_EQ(s.At(-1000000), 0.75);
+}
+
+TEST(StepScheduleTest, HugeRoundsSeeLastSwitch) {
+  StepSchedule s(1.0);
+  s.AddSwitch(10, 0.5).AddSwitch(1000, 0.05);
+  EXPECT_DOUBLE_EQ(s.At(1000000000), 0.05);
+  EXPECT_DOUBLE_EQ(s.At(std::numeric_limits<int>::max()), 0.05);
+}
+
+TEST(StepScheduleTest, ConstantVsDecayingAgreeBeforeFirstSwitch) {
+  StepSchedule constant(1.0);
+  StepSchedule decaying(1.0);
+  decaying.AddSwitch(50, 0.5).AddSwitch(80, 0.1);
+  for (int round = 0; round < 50; ++round) {
+    EXPECT_DOUBLE_EQ(constant.At(round), decaying.At(round));
+  }
+  EXPECT_TRUE(constant.is_constant());
+  EXPECT_FALSE(decaying.is_constant());
+  // Once decay kicks in, each segment holds its value piecewise-constant.
+  EXPECT_DOUBLE_EQ(decaying.At(79), 0.5);
+  EXPECT_DOUBLE_EQ(decaying.At(80), 0.1);
+  EXPECT_DOUBLE_EQ(constant.At(80), 1.0);
+}
+
+TEST(StepScheduleTest, DefaultConstructedIsConstantOne) {
+  StepSchedule s;
+  EXPECT_TRUE(s.is_constant());
+  EXPECT_DOUBLE_EQ(s.At(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.initial(), 1.0);
 }
 
 TEST(StepScheduleTest, OutOfOrderSwitchAborts) {
