@@ -1,75 +1,164 @@
 /// \file system_heterogeneity.cpp
-/// \brief System heterogeneity demo: clients perform variable amounts of
-/// local work (E_i ~ U{1..E}, Section V-A of the paper), including extreme
-/// stragglers, and FedADMM keeps training while byte accounting shows the
-/// identical per-round communication footprint of FedAvg.
+/// \brief System heterogeneity demo on the src/sys engine.
 ///
-/// Also demonstrates the Bernoulli activation scheme of Remark 2: clients
-/// participate with heterogeneous probabilities instead of uniform
-/// sampling.
+/// Earlier versions of this example modeled heterogeneity with a single
+/// knob (variable epoch counts). This version drives the full system model:
+/// a fleet preset assigns every client a device/network profile, an
+/// availability-aware selector keeps unreachable devices out of each round,
+/// a straggler policy decides what happens to late updates, and the virtual
+/// clock converts rounds into simulated deployment seconds — so the
+/// comparison below is *time*-to-accuracy, not just rounds-to-accuracy.
+/// FedADMM (variable local work, Section V-A) is compared against FedAvg
+/// (fixed epochs) under a deadline that admits partial work.
+///
+/// Also demonstrates the trace-driven path: the sampled fleet is written to
+/// CSV and loaded back via FleetModel::FromTraceCsv.
 ///
 /// Run: ./system_heterogeneity [rounds]
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "core/fedadmm.h"
 #include "data/partition.h"
 #include "data/synthetic.h"
+#include "fl/algorithms/fedavg.h"
 #include "fl/nn_problem.h"
 #include "fl/selection.h"
 #include "fl/simulation.h"
+#include "sys/system_model.h"
+
+namespace {
+
+using namespace fedadmm;
+
+History Run(NnFederatedProblem* problem, FederatedAlgorithm* algo,
+            const SystemModel* model, int rounds) {
+  UniformFractionSelector base(problem->num_clients(), 0.5);
+  AvailabilityFilterSelector selector(&base, &model->fleet());
+  SimulationConfig config;
+  config.max_rounds = rounds;
+  config.seed = 23;
+  Simulation sim(problem, algo, &selector, config);
+  sim.set_system_model(model);
+  sim.set_observer([&](const RoundRecord& r) {
+    std::printf(
+        "  round %3d  |S|=%2d  dropped %d  partial %d  t=%7.1fs  acc %.3f\n",
+        r.round, r.num_selected, r.num_dropped, r.num_admitted_partial,
+        r.sim_seconds, r.test_accuracy);
+  });
+  return std::move(sim.Run()).ValueOrDie();
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
-  using namespace fedadmm;
-  const int rounds = argc > 1 ? std::atoi(argv[1]) : 30;
+  const int rounds = argc > 1 ? std::atoi(argv[1]) : 20;
   const int clients = 24;
 
   const DataSplit split = GenerateSynthetic(
       SyntheticBenchSpec(1, 12, /*train_per_class=*/48, 20, 0.8f));
   Rng rng(17);
+  // Pathological non-IID split (2 label shards per client), the paper's
+  // hard setting: losing a straggler's update now costs label coverage.
   const Partition partition =
-      PartitionIid(split.train.size(), clients, &rng).ValueOrDie();
-  const ModelConfig model = BenchCnnConfig(1, 12);
+      PartitionShards(split.train.labels(), clients, 2, &rng).ValueOrDie();
+  // Wide MLP, the tuned small-scale stand-in for the paper's
+  // overparameterized CNNs (see bench/bench_common.h on why narrow CNNs
+  // leave the regime where ADMM local subproblems stay easy).
+  ModelConfig model_config;
+  model_config.arch = ModelConfig::Arch::kMlp;
+  model_config.in_channels = 1;
+  model_config.height = 12;
+  model_config.width = 12;
+  model_config.mlp_hidden = 256;
+  model_config.classes = 10;
+  NnFederatedProblem problem(model_config, &split.train, &split.test,
+                             partition, 4);
 
-  // Heterogeneous participation: device i is available with probability
-  // between 0.05 (battery-constrained phone) and 0.5 (plugged-in desktop).
-  std::vector<double> availability;
-  for (int i = 0; i < clients; ++i) {
-    availability.push_back(0.05 + 0.45 * i / (clients - 1));
+  // A churny cross-device fleet: wide compute spread, 10-60% availability.
+  const FleetModel fleet =
+      FleetModel::FromPreset("cross-device-churn", clients, 7).ValueOrDie();
+
+  // Round-trip the fleet through CSV — the same loader ingests real traces.
+  const std::string trace_path = "system_heterogeneity_fleet.csv";
+  if (fleet.WriteCsv(trace_path).ok()) {
+    const auto loaded = FleetModel::FromTraceCsv(trace_path);
+    std::printf("fleet written to %s and reloaded: %d clients, e.g. client 0 "
+                "runs %.0f steps/s at %.2f availability\n\n",
+                trace_path.c_str(), loaded.ValueOrDie().num_clients(),
+                loaded.ValueOrDie().profile(0).device.steps_per_second,
+                loaded.ValueOrDie().profile(0).device.availability);
   }
 
-  NnFederatedProblem problem(model, &split.train, &split.test, partition, 4);
+  LocalTrainSpec local;
+  local.learning_rate = 0.1f;
+  local.batch_size = 5;
+  local.max_epochs = 10;
+
+  // A deadline only ~35% of the fleet can meet with *full* local work:
+  // everyone else overruns, and the policy's partial admission (plus each
+  // algorithm's tolerance for reduced work) decides who keeps learning.
+  const int64_t payload =
+      problem.dim() * static_cast<int64_t>(sizeof(float));
+  std::vector<double> full_work_seconds;
+  for (int c = 0; c < clients; ++c) {
+    const int samples = static_cast<int>(partition[c].size());
+    const int full_steps =  // E * ceil(n_i / B)
+        local.max_epochs *
+        ((samples + local.batch_size - 1) / local.batch_size);
+    full_work_seconds.push_back(
+        ComputeClientTiming(fleet.profile(c), full_steps, payload, payload)
+            .TotalSeconds());
+  }
+  std::sort(full_work_seconds.begin(), full_work_seconds.end());
+  const double deadline = full_work_seconds[clients * 35 / 100];
+  std::printf("round deadline: %.2fs (35th percentile of full-work time)\n",
+              deadline);
+  SystemModel model(fleet, MakeStragglerPolicy("deadline-admit-partial",
+                                               deadline)
+                               .ValueOrDie());
+
+  std::printf("== FedADMM (variable local work, E_i ~ U{1..10}) ==\n");
   FedAdmmOptions options;
-  options.local.learning_rate = 0.05f;
-  options.local.batch_size = 10;
-  options.local.max_epochs = 8;      // fast devices do up to 8 epochs...
-  options.local.variable_epochs = true;  // ...stragglers may do just 1
-  options.rho = StepSchedule(0.05);
-  FedAdmm algorithm(options);
-  BernoulliSelector selector(availability);
+  options.local = local;
+  options.local.variable_epochs = true;  // stragglers may do just 1 epoch
+  options.rho = StepSchedule(1.0);
+  options.eta = StepSchedule(1.0);
+  FedAdmm fedadmm_algo(options);
+  const History admm = Run(&problem, &fedadmm_algo, &model, rounds);
 
-  SimulationConfig config;
-  config.max_rounds = rounds;
-  config.seed = 23;
-  Simulation sim(&problem, &algorithm, &selector, config);
+  std::printf("\n== FedAvg (fixed 10 local epochs) ==\n");
+  FedAvg fedavg_algo(local);
+  const History avg = Run(&problem, &fedavg_algo, &model, rounds);
 
-  long long total_epochs = 0;
-  int total_updates = 0;
-  sim.set_observer([&](const RoundRecord& r) {
-    std::printf("round %3d  |S|=%2d  acc %.3f  loss %.4f\n", r.round,
-                r.num_selected, r.test_accuracy, r.train_loss);
-    total_updates += r.num_selected;
-  });
-  const History history = std::move(sim.Run()).ValueOrDie();
-  (void)total_epochs;
-
+  const double target = 0.6;
+  std::printf("\n%-10s %15s %18s %10s %10s\n", "algorithm", "rounds-to-0.60",
+              "sim-sec-to-0.60", "dropped", "best-acc");
+  const std::pair<const char*, const History*> table[] = {{"FedADMM", &admm},
+                                                          {"FedAvg", &avg}};
+  for (const auto& [name, h] : table) {
+    const int r = h->RoundsToAccuracy(target);
+    const double t = h->SimSecondsToAccuracy(target);
+    const std::string rounds_str =
+        r < 0 ? "not reached" : std::to_string(r);
+    char secs_str[32];
+    if (t < 0.0) {
+      std::snprintf(secs_str, sizeof(secs_str), "%s", "--");
+    } else {
+      std::snprintf(secs_str, sizeof(secs_str), "%.1fs", t);
+    }
+    std::printf("%-10s %15s %18s %10d %10.3f\n", name, rounds_str.c_str(),
+                secs_str, h->TotalDropped(), h->BestAccuracy());
+  }
   std::printf(
-      "\nbest accuracy %.3f with %d client updates across %d rounds\n",
-      history.BestAccuracy(), total_updates, history.size());
-  std::printf(
-      "upload per participating client: %lld bytes (= model size; identical "
-      "to FedAvg/FedProx, half of SCAFFOLD)\n",
-      static_cast<long long>(problem.dim() * sizeof(float)));
+      "\nFedADMM's variable-epoch tolerance turns deadline overruns into\n"
+      "partial updates; FedAvg's late full-epoch updates shrink toward the\n"
+      "deadline fraction. Upload per admitted client is the model size for\n"
+      "both (SCAFFOLD would pay double).\n");
   return 0;
 }

@@ -51,6 +51,41 @@ std::vector<int> BernoulliSelector::Select(int round, Rng* rng) {
   return selected;
 }
 
+AvailabilityFilterSelector::AvailabilityFilterSelector(ClientSelector* base,
+                                                       const FleetModel* fleet)
+    : base_(base), fleet_(fleet) {
+  FEDADMM_CHECK_MSG(base != nullptr && fleet != nullptr,
+                    "AvailabilityFilterSelector: null base or fleet");
+  FEDADMM_CHECK_MSG(base->num_clients() == fleet->num_clients(),
+                    "AvailabilityFilterSelector: fleet and base selector "
+                    "disagree on client count");
+}
+
+std::vector<int> AvailabilityFilterSelector::Select(int round, Rng* rng) {
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    const std::vector<int> base = base_->Select(round, rng);
+    // The availability stream is keyed by (round, attempt), never by how
+    // many draws the base selector consumed.
+    const Rng stream =
+        rng->Fork(0x5E1AAB1E, static_cast<uint64_t>(round),
+                  static_cast<uint64_t>(attempt));
+    std::vector<int> reachable;
+    for (int client : base) {
+      if (fleet_->IsAvailable(client, round, stream)) {
+        reachable.push_back(client);
+      }
+    }
+    if (!reachable.empty()) return reachable;
+  }
+  // Pathological availability (e.g. an all-zero trace window): proceed with
+  // the unfiltered selection rather than stalling the round.
+  return base_->Select(round, rng);
+}
+
+std::string AvailabilityFilterSelector::name() const {
+  return "Available(" + fleet_->name() + ", " + base_->name() + ")";
+}
+
 FullParticipationSelector::FullParticipationSelector(int num_clients)
     : num_clients_(num_clients) {
   FEDADMM_CHECK_MSG(num_clients >= 1, "need at least one client");

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "sys/profiles.h"
 #include "util/rng.h"
 
 namespace fedadmm {
@@ -66,6 +67,32 @@ class BernoulliSelector : public ClientSelector {
 
  private:
   std::vector<double> probabilities_;
+};
+
+/// \brief Decorator restricting any base selector to the clients the fleet
+/// model reports reachable this round (device availability / churn).
+///
+/// The decorator intersects the base selection with an availability draw
+/// keyed by (round, attempt); if the intersection is empty it retries with a
+/// fresh draw-and-selection, and after `kMaxAttempts` falls back to the
+/// unfiltered base selection so every round makes progress (trace-driven
+/// availability never changes across attempts). Fully deterministic given
+/// the selection stream.
+class AvailabilityFilterSelector : public ClientSelector {
+ public:
+  /// Both pointers are borrowed and must outlive the selector. The fleet
+  /// must cover exactly the base selector's client population.
+  AvailabilityFilterSelector(ClientSelector* base, const FleetModel* fleet);
+
+  std::vector<int> Select(int round, Rng* rng) override;
+  int num_clients() const override { return base_->num_clients(); }
+  std::string name() const override;
+
+ private:
+  static constexpr int kMaxAttempts = 64;
+
+  ClientSelector* base_;
+  const FleetModel* fleet_;
 };
 
 /// \brief All clients participate every round (FedPD's requirement).

@@ -50,6 +50,7 @@ Result<History> Simulation::Run() {
   ThreadPool pool(threads);
 
   History history;
+  VirtualClock clock;
   for (int round = 0; round < config_.max_rounds; ++round) {
     Stopwatch watch;
     const std::vector<int> selected = selector_->Select(round, &selection_rng);
@@ -68,18 +69,55 @@ Result<History> Simulation::Run() {
               client, round, theta_, local.get(), client_rng);
         });
 
-    algorithm_->ServerUpdate(updates, round, &theta_);
-
     RoundRecord record;
     record.round = round;
     record.num_selected = static_cast<int>(selected.size());
+
+    if (system_model_) {
+      // Time the round on the virtual clock and let the straggler policy
+      // drop (or scale down) late updates before aggregation.
+      const RoundJudgment judgment = system_model_->JudgeRound(
+          updates, algorithm_->DownloadBytesPerClient());
+      record.num_dropped = judgment.num_dropped;
+      record.num_admitted_partial = judgment.num_admitted_partial;
+      clock.Advance(judgment.round_seconds);
+      std::vector<UpdateMessage> admitted;
+      admitted.reserve(updates.size());
+      for (size_t i = 0; i < updates.size(); ++i) {
+        const StragglerDecision& decision = judgment.decisions[i];
+        if (decision.fate == ClientFate::kDropped) continue;
+        UpdateMessage msg = std::move(updates[i]);
+        if (decision.fate == ClientFate::kAdmittedPartial) {
+          // The client shipped its iterate at the deadline: model the
+          // shorter SGD path as a proportionally smaller delta. Per-client
+          // algorithm state keeps the full pass — see the modeling note on
+          // DeadlineAdmitPartialPolicy.
+          const float scale = static_cast<float>(decision.work_fraction);
+          for (float& v : msg.delta) v *= scale;
+          for (float& v : msg.delta2) v *= scale;
+        }
+        admitted.push_back(std::move(msg));
+      }
+      updates = std::move(admitted);
+    }
+    record.sim_seconds = clock.now();
+
+    // An all-dropped round wastes its deadline but leaves θ untouched.
+    if (!updates.empty()) {
+      algorithm_->ServerUpdate(updates, round, &theta_);
+    }
+
     double loss_sum = 0.0;
     int64_t upload = 0;
     for (const UpdateMessage& msg : updates) {
       loss_sum += msg.train_loss;
       upload += msg.UploadBytes();
     }
-    record.train_loss = loss_sum / static_cast<double>(updates.size());
+    // An all-dropped round observed no training loss; NaN is the record's
+    // established skipped-metric sentinel.
+    record.train_loss =
+        updates.empty() ? std::numeric_limits<double>::quiet_NaN()
+                        : loss_sum / static_cast<double>(updates.size());
     record.upload_bytes = upload;
     record.download_bytes = static_cast<int64_t>(selected.size()) *
                             algorithm_->DownloadBytesPerClient();

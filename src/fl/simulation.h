@@ -16,6 +16,7 @@
 #include "fl/problem.h"
 #include "fl/selection.h"
 #include "fl/types.h"
+#include "sys/system_model.h"
 #include "util/thread_pool.h"
 
 namespace fedadmm {
@@ -57,6 +58,13 @@ class Simulation {
     observer_ = std::move(observer);
   }
 
+  /// Attaches a system-heterogeneity model (borrowed, may be nullptr).
+  /// When set, every round is timed on the virtual clock
+  /// (`RoundRecord::sim_seconds`) and the model's straggler policy may drop
+  /// or partially admit updates before aggregation. When unset the training
+  /// trajectory is bitwise identical to a build without src/sys.
+  void set_system_model(const SystemModel* model) { system_model_ = model; }
+
   /// Final global model (valid after Run).
   const std::vector<float>& theta() const { return theta_; }
 
@@ -66,6 +74,7 @@ class Simulation {
   ClientSelector* selector_;
   SimulationConfig config_;
   RoundObserver observer_;
+  const SystemModel* system_model_ = nullptr;
   std::vector<float> theta_;
 };
 

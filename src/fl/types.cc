@@ -15,6 +15,26 @@ int History::RoundsToAccuracy(double target) const {
   return -1;
 }
 
+double History::SimSecondsToAccuracy(double target) const {
+  for (const RoundRecord& r : records_) {
+    if (!std::isnan(r.test_accuracy) && r.test_accuracy >= target) {
+      return r.sim_seconds;
+    }
+  }
+  return -1.0;
+}
+
+double History::TotalSimSeconds() const {
+  // sim_seconds is cumulative; the last record holds the run total.
+  return records_.empty() ? 0.0 : records_.back().sim_seconds;
+}
+
+int History::TotalDropped() const {
+  int total = 0;
+  for (const RoundRecord& r : records_) total += r.num_dropped;
+  return total;
+}
+
 double History::FinalAccuracy() const {
   for (auto it = records_.rbegin(); it != records_.rend(); ++it) {
     if (!std::isnan(it->test_accuracy)) return it->test_accuracy;
@@ -47,13 +67,16 @@ Status History::WriteCsv(const std::string& path) const {
   FEDADMM_RETURN_IF_ERROR(writer.Open(path));
   FEDADMM_RETURN_IF_ERROR(writer.WriteRow(
       {"round", "num_selected", "train_loss", "test_accuracy", "test_loss",
-       "upload_bytes", "download_bytes", "wall_seconds"}));
+       "upload_bytes", "download_bytes", "wall_seconds", "sim_seconds",
+       "num_dropped", "num_admitted_partial"}));
   for (const RoundRecord& r : records_) {
     FEDADMM_RETURN_IF_ERROR(writer.WriteNumericRow(
         {static_cast<double>(r.round), static_cast<double>(r.num_selected),
          r.train_loss, r.test_accuracy, r.test_loss,
          static_cast<double>(r.upload_bytes),
-         static_cast<double>(r.download_bytes), r.wall_seconds}));
+         static_cast<double>(r.download_bytes), r.wall_seconds,
+         r.sim_seconds, static_cast<double>(r.num_dropped),
+         static_cast<double>(r.num_admitted_partial)}));
   }
   return writer.Close();
 }

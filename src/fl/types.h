@@ -54,6 +54,13 @@ struct RoundRecord {
   int64_t download_bytes = 0;
   /// Wall-clock duration of the round (client phase + aggregation + eval).
   double wall_seconds = 0.0;
+  /// Simulated deployment time elapsed at the end of this round, from the
+  /// virtual clock (src/sys). 0 when no system model is attached.
+  double sim_seconds = 0.0;
+  /// Clients whose update missed the straggler deadline and was discarded.
+  int num_dropped = 0;
+  /// Clients admitted with only a fraction of their local work.
+  int num_admitted_partial = 0;
 };
 
 /// \brief The full trajectory of one federated run.
@@ -69,8 +76,20 @@ class History {
   bool empty() const { return records_.empty(); }
 
   /// 1-based number of rounds needed to first reach `target` test accuracy;
-  /// -1 if never reached (the paper prints this as "100+").
+  /// -1 if never reached (the paper prints this as "100+"). Rounds whose
+  /// evaluation was skipped (NaN accuracy) are ignored.
   int RoundsToAccuracy(double target) const;
+
+  /// Simulated seconds (virtual clock) at the end of the first round whose
+  /// evaluated accuracy reaches `target`; -1 if never reached. Only
+  /// meaningful when the run had a system model attached.
+  double SimSecondsToAccuracy(double target) const;
+
+  /// Simulated seconds at the end of the run (0 if empty / no system model).
+  double TotalSimSeconds() const;
+
+  /// Total clients dropped by the straggler policy across the run.
+  int TotalDropped() const;
 
   /// Test accuracy of the last evaluated round (0 if none).
   double FinalAccuracy() const;

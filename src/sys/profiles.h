@@ -1,0 +1,114 @@
+/// \file profiles.h
+/// \brief Device/network capability profiles and the fleet model.
+///
+/// System heterogeneity (Section V-A of the paper) is more than variable
+/// epoch counts: real federated fleets differ in compute throughput, link
+/// bandwidth, latency and availability. A `FleetModel` assigns every client
+/// a `ClientSystemProfile` — either sampled deterministically from a named
+/// preset or loaded from a CSV trace — and is the single source of truth the
+/// virtual clock (sys/virtual_clock.h), the straggler policies
+/// (sys/straggler.h) and the availability-aware selector (fl/selection.h)
+/// consult.
+
+#ifndef FEDADMM_SYS_PROFILES_H_
+#define FEDADMM_SYS_PROFILES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace fedadmm {
+
+/// \brief Compute capability and availability of one device.
+struct DeviceProfile {
+  /// Local SGD steps the device completes per simulated second.
+  double steps_per_second = 100.0;
+  /// Per-round participation probability in (0, 1]; ignored when
+  /// `availability_trace` is non-empty.
+  double availability = 1.0;
+  /// Optional availability trace: round r consults
+  /// `availability_trace[r % size]` (1 = reachable). Overrides
+  /// `availability`.
+  std::vector<uint8_t> availability_trace;
+};
+
+/// \brief Link capability of one device.
+struct NetworkProfile {
+  /// Uplink throughput in bytes per simulated second.
+  double upload_bytes_per_second = 1.0e6;
+  /// Downlink throughput in bytes per simulated second.
+  double download_bytes_per_second = 5.0e6;
+  /// One-way latency in seconds, paid once per transfer direction.
+  double latency_seconds = 0.05;
+};
+
+/// \brief Everything the system model knows about one client's device.
+struct ClientSystemProfile {
+  DeviceProfile device;
+  NetworkProfile network;
+};
+
+/// \brief A population of client profiles plus availability sampling.
+///
+/// Construction is fully deterministic: `FromPreset` draws every profile
+/// from an Rng seeded only by (preset, seed), and `IsAvailable` forks
+/// per-client streams from the caller-provided generator — results never
+/// depend on query order.
+class FleetModel {
+ public:
+  /// Builds a fleet from an explicit profile list (used by tests and by the
+  /// CSV loader).
+  explicit FleetModel(std::vector<ClientSystemProfile> profiles,
+                      std::string name = "custom");
+
+  /// Samples `num_clients` profiles from a named preset:
+  ///   * "uniform":            identical mid-range devices, always available;
+  ///   * "lognormal-speed":    log-normally distributed compute throughput
+  ///                           (heavy slow tail), uniform network;
+  ///   * "cellular":           bimodal wifi/cellular links, moderately
+  ///                           variable compute, 80% availability;
+  ///   * "cross-device-churn": wide compute spread and low, heterogeneous
+  ///                           availability (cross-device FL).
+  /// Returns InvalidArgument for an unknown preset name.
+  static Result<FleetModel> FromPreset(const std::string& preset,
+                                       int num_clients, uint64_t seed);
+
+  /// Loads a fleet from a CSV written by `WriteCsv` (or by hand). Expected
+  /// header: client,steps_per_second,upload_bytes_per_second,
+  /// download_bytes_per_second,latency_seconds,availability,trace — where
+  /// `trace` is an optional string of '0'/'1' characters (empty = use the
+  /// probability). Rows must cover clients 0..m-1 exactly once.
+  static Result<FleetModel> FromTraceCsv(const std::string& path);
+
+  /// Writes the fleet in the `FromTraceCsv` format (round-trippable).
+  Status WriteCsv(const std::string& path) const;
+
+  /// Number of clients m.
+  int num_clients() const { return static_cast<int>(profiles_.size()); }
+
+  /// Profile of `client` (0 <= client < num_clients).
+  const ClientSystemProfile& profile(int client) const;
+
+  /// Whether `client` is reachable in `round`. Trace-driven profiles answer
+  /// from the trace; probabilistic ones draw a Bernoulli from a per-client
+  /// fork of `stream`, so the answer is independent of query order but
+  /// varies with the stream (callers key it by round/attempt).
+  bool IsAvailable(int client, int round, const Rng& stream) const;
+
+  /// Preset name, "custom", or "trace:<path>".
+  const std::string& name() const { return name_; }
+
+ private:
+  std::vector<ClientSystemProfile> profiles_;
+  std::string name_;
+};
+
+/// Names accepted by `FleetModel::FromPreset`, for help strings and sweeps.
+const std::vector<std::string>& FleetPresetNames();
+
+}  // namespace fedadmm
+
+#endif  // FEDADMM_SYS_PROFILES_H_

@@ -1,0 +1,68 @@
+/// \file system_model.h
+/// \brief The façade the simulator talks to: fleet + straggler policy.
+///
+/// A `SystemModel` owns a `FleetModel` and a `StragglerPolicy` and, given a
+/// round's uploaded messages, produces the round's simulated duration and a
+/// per-update verdict (admit / admit-partial / drop). It is stateless
+/// across rounds — the simulator owns the `VirtualClock` — so the same
+/// model can be shared by sequential runs.
+
+#ifndef FEDADMM_SYS_SYSTEM_MODEL_H_
+#define FEDADMM_SYS_SYSTEM_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fl/types.h"
+#include "sys/profiles.h"
+#include "sys/straggler.h"
+#include "sys/virtual_clock.h"
+
+namespace fedadmm {
+
+/// \brief One round's system-level outcome.
+struct RoundJudgment {
+  /// Verdicts, parallel to the update vector passed to `JudgeRound`.
+  std::vector<StragglerDecision> decisions;
+  /// Simulated duration of the round (the policy-shaped critical path).
+  double round_seconds = 0.0;
+  int num_dropped = 0;
+  int num_admitted_partial = 0;
+};
+
+/// \brief Bundles the fleet and the straggler policy behind one interface.
+class SystemModel {
+ public:
+  SystemModel(FleetModel fleet, std::unique_ptr<StragglerPolicy> policy)
+      : fleet_(std::move(fleet)), policy_(std::move(policy)) {
+    FEDADMM_CHECK_MSG(policy_ != nullptr, "SystemModel: policy is required");
+  }
+
+  const FleetModel& fleet() const { return fleet_; }
+  const StragglerPolicy& policy() const { return *policy_; }
+
+  /// "<fleet>/<policy>", e.g. "cellular/deadline-drop".
+  std::string name() const { return fleet_.name() + "/" + policy_->name(); }
+
+  /// Times every update against its client's profile and applies the
+  /// straggler policy. `download_bytes_per_client` is what each client
+  /// pulled before training (algorithm-dependent; SCAFFOLD downloads 2d).
+  RoundJudgment JudgeRound(const std::vector<UpdateMessage>& updates,
+                           int64_t download_bytes_per_client) const;
+
+ private:
+  FleetModel fleet_;
+  std::unique_ptr<StragglerPolicy> policy_;
+};
+
+/// \brief Builds the policy named by `name` ("wait-for-all",
+/// "deadline-drop", "deadline-admit-partial"); deadline policies require
+/// `deadline_seconds` > 0. Returns InvalidArgument for unknown names.
+Result<std::unique_ptr<StragglerPolicy>> MakeStragglerPolicy(
+    const std::string& name, double deadline_seconds);
+
+}  // namespace fedadmm
+
+#endif  // FEDADMM_SYS_SYSTEM_MODEL_H_

@@ -1,0 +1,58 @@
+/// \file virtual_clock.h
+/// \brief Simulated-time accounting for federated rounds.
+///
+/// `RoundRecord::wall_seconds` measures the host machine, which says nothing
+/// about deployment time: a simulator crunches a straggler's 10 epochs as
+/// fast as a flagship's. The virtual clock instead derives each client's
+/// round duration from its `ClientSystemProfile` — download, compute at
+/// `steps_per_second`, upload — and advances by the round's critical path
+/// (as shaped by the straggler policy). Pure arithmetic: bitwise
+/// deterministic and free of host-speed effects.
+
+#ifndef FEDADMM_SYS_VIRTUAL_CLOCK_H_
+#define FEDADMM_SYS_VIRTUAL_CLOCK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sys/profiles.h"
+
+namespace fedadmm {
+
+/// \brief Per-phase simulated duration of one client's round.
+struct ClientTiming {
+  double download_seconds = 0.0;
+  double compute_seconds = 0.0;
+  double upload_seconds = 0.0;
+
+  /// Sequential phases: the client downloads θ, trains, then uploads.
+  double TotalSeconds() const {
+    return download_seconds + compute_seconds + upload_seconds;
+  }
+};
+
+/// \brief Converts a client's actual work and payload sizes into simulated
+/// durations using its profile. Each transfer pays the link latency once.
+ClientTiming ComputeClientTiming(const ClientSystemProfile& profile,
+                                 int steps_run, int64_t upload_bytes,
+                                 int64_t download_bytes);
+
+/// \brief The round's critical path: the slowest client's total (0 if none).
+double CriticalPathSeconds(const std::vector<ClientTiming>& timings);
+
+/// \brief Monotone simulated-time accumulator for one training run.
+class VirtualClock {
+ public:
+  /// Advances by `seconds` (must be >= 0).
+  void Advance(double seconds);
+
+  /// Simulated seconds elapsed since construction.
+  double now() const { return now_; }
+
+ private:
+  double now_ = 0.0;
+};
+
+}  // namespace fedadmm
+
+#endif  // FEDADMM_SYS_VIRTUAL_CLOCK_H_

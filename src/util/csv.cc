@@ -1,6 +1,7 @@
 #include "util/csv.h"
 
 #include <cstdio>
+#include <sstream>
 
 namespace fedadmm {
 
@@ -54,6 +55,78 @@ Status CsvWriter::Close() {
   out_.close();
   if (out_.fail()) return Status::IoError("CsvWriter: close failed");
   return Status::OK();
+}
+
+Result<std::vector<std::vector<std::string>>> ParseCsv(
+    const std::string& content) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;  // distinguishes "" (empty row) from "\n"
+  for (size_t i = 0; i < content.size(); ++i) {
+    const char c = content[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < content.size() && content[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        field_started = true;
+        break;
+      case ',':
+        row.push_back(std::move(field));
+        field.clear();
+        field_started = true;  // a comma implies a field on both sides
+        break;
+      case '\r':
+        // Swallowed; the following '\n' (if any) terminates the row.
+        break;
+      case '\n':
+        if (field_started || !field.empty() || !row.empty()) {
+          row.push_back(std::move(field));
+          field.clear();
+          rows.push_back(std::move(row));
+          row.clear();
+        }
+        field_started = false;
+        break;
+      default:
+        field += c;
+        field_started = true;
+        break;
+    }
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("ParseCsv: unterminated quoted field");
+  }
+  if (field_started || !field.empty() || !row.empty()) {
+    row.push_back(std::move(field));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+Result<std::vector<std::vector<std::string>>> ReadCsvFile(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::in | std::ios::binary);
+  if (!in.is_open()) {
+    return Status::IoError("ReadCsvFile: cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IoError("ReadCsvFile: read failed: " + path);
+  return ParseCsv(buffer.str());
 }
 
 }  // namespace fedadmm

@@ -1,5 +1,6 @@
 /// \file csv.h
-/// \brief Tiny CSV writer used to export round histories and bench results.
+/// \brief Tiny CSV writer/reader used to export round histories and bench
+/// results and to load trace-driven fleet profiles (src/sys).
 
 #ifndef FEDADMM_UTIL_CSV_H_
 #define FEDADMM_UTIL_CSV_H_
@@ -40,6 +41,18 @@ class CsvWriter {
  private:
   std::ofstream out_;
 };
+
+/// \brief Parses RFC 4180 CSV text into rows of fields.
+///
+/// Handles quoted fields (including embedded commas, doubled quotes and
+/// newlines) and both \n and \r\n line endings. A trailing newline does not
+/// produce an empty final row.
+Result<std::vector<std::vector<std::string>>> ParseCsv(
+    const std::string& content);
+
+/// \brief Reads and parses an entire CSV file (see ParseCsv).
+Result<std::vector<std::vector<std::string>>> ReadCsvFile(
+    const std::string& path);
 
 }  // namespace fedadmm
 

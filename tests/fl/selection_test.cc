@@ -4,6 +4,8 @@
 
 #include <set>
 
+#include "sys/profiles.h"
+
 namespace fedadmm {
 namespace {
 
@@ -91,6 +93,87 @@ TEST(BernoulliSelectorTest, RespectsHeterogeneousProbabilities) {
 TEST(BernoulliSelectorTest, NumClients) {
   BernoulliSelector sel({0.5, 0.5, 0.5, 0.5});
   EXPECT_EQ(sel.num_clients(), 4);
+}
+
+TEST(UniformFractionTest, RoundingAtSmallFractions) {
+  // lround semantics: 0.04 * 30 = 1.2 rounds to 1; 0.05 * 30 = 1.5 rounds
+  // to 2; tiny fractions clamp up to 1 so a round is never empty.
+  EXPECT_EQ(UniformFractionSelector(30, 0.04).clients_per_round(), 1);
+  EXPECT_EQ(UniformFractionSelector(30, 0.05).clients_per_round(), 2);
+  EXPECT_EQ(UniformFractionSelector(1000, 0.0001).clients_per_round(), 1);
+  // The rounded count never exceeds the population.
+  EXPECT_EQ(UniformFractionSelector(3, 0.99).clients_per_round(), 3);
+}
+
+TEST(BernoulliSelectorTest, EmptyDrawRedrawsDeterministically) {
+  // With p small enough that the first draw often comes up empty, the
+  // redraw loop must still terminate, return a valid set, and replay
+  // identically for the same stream.
+  BernoulliSelector sel(std::vector<double>(3, 0.01));
+  Rng a(123), b(123);
+  for (int round = 0; round < 50; ++round) {
+    const auto sa = sel.Select(round, &a);
+    ASSERT_FALSE(sa.empty());
+    for (int c : sa) {
+      EXPECT_GE(c, 0);
+      EXPECT_LT(c, 3);
+    }
+    // Same stream state => same selection (the redraw count is part of the
+    // deterministic draw sequence).
+    EXPECT_EQ(sa, sel.Select(round, &b));
+  }
+}
+
+TEST(AvailabilityFilterTest, DeterministicUnderFixedSeed) {
+  const FleetModel fleet =
+      FleetModel::FromPreset("cross-device-churn", 20, 5).ValueOrDie();
+  UniformFractionSelector base_a(20, 0.5), base_b(20, 0.5);
+  AvailabilityFilterSelector sel_a(&base_a, &fleet);
+  AvailabilityFilterSelector sel_b(&base_b, &fleet);
+  Rng rng_a(77), rng_b(77);
+  for (int round = 0; round < 40; ++round) {
+    EXPECT_EQ(sel_a.Select(round, &rng_a), sel_b.Select(round, &rng_b))
+        << "diverged at round " << round;
+  }
+}
+
+TEST(AvailabilityFilterTest, FiltersToSubsetOfBaseSelection) {
+  const FleetModel fleet =
+      FleetModel::FromPreset("cross-device-churn", 20, 5).ValueOrDie();
+  UniformFractionSelector base(20, 0.5);
+  AvailabilityFilterSelector sel(&base, &fleet);
+  EXPECT_EQ(sel.num_clients(), 20);
+  Rng rng(9);
+  int total = 0;
+  for (int round = 0; round < 100; ++round) {
+    const auto s = sel.Select(round, &rng);
+    ASSERT_FALSE(s.empty());
+    EXPECT_LE(s.size(), 10u);  // never more than the base picks
+    std::set<int> unique(s.begin(), s.end());
+    EXPECT_EQ(unique.size(), s.size());
+    total += static_cast<int>(s.size());
+  }
+  // Churn availability is 0.1-0.6, so the filter must actually bite.
+  EXPECT_LT(total, 100 * 10);
+}
+
+TEST(AvailabilityFilterTest, AllZeroTraceFallsBackToBaseSelection) {
+  ClientSystemProfile dark;
+  dark.device.availability_trace = {0};  // never reachable
+  FleetModel fleet({dark, dark, dark});
+  UniformFractionSelector base(3, 1.0);
+  AvailabilityFilterSelector sel(&base, &fleet);
+  Rng rng(4);
+  // Rather than stalling, the selector proceeds with the unfiltered set.
+  EXPECT_EQ(sel.Select(0, &rng).size(), 3u);
+}
+
+TEST(AvailabilityFilterTest, NameMentionsFleetAndBase) {
+  const FleetModel fleet = FleetModel::FromPreset("uniform", 5, 1).ValueOrDie();
+  UniformFractionSelector base(5, 0.4);
+  AvailabilityFilterSelector sel(&base, &fleet);
+  EXPECT_NE(sel.name().find("uniform"), std::string::npos);
+  EXPECT_NE(sel.name().find("UniformFraction"), std::string::npos);
 }
 
 TEST(FullParticipationTest, SelectsEveryClientEveryRound) {

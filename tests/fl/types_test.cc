@@ -51,6 +51,73 @@ TEST(HistoryTest, RoundsToAccuracySkipsNanRounds) {
   EXPECT_EQ(h.RoundsToAccuracy(0.5), 2);
 }
 
+TEST(HistoryTest, RoundsToAccuracyWithSparseEvaluation) {
+  // Regression for eval_every > 1: the simulator records NaN accuracy on
+  // skipped rounds, which must never satisfy (or poison) the target
+  // comparison — only evaluated rounds count.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  History h;
+  h.Add(MakeRecord(0, 0.2));  // evaluated
+  h.Add(MakeRecord(1, nan));  // skipped (eval_every = 3)
+  h.Add(MakeRecord(2, nan));  // skipped
+  h.Add(MakeRecord(3, 0.7));  // evaluated: first to reach 0.5
+  h.Add(MakeRecord(4, nan));
+  EXPECT_EQ(h.RoundsToAccuracy(0.5), 4);
+  EXPECT_EQ(h.RoundsToAccuracy(0.1), 1);
+  EXPECT_EQ(h.RoundsToAccuracy(0.9), -1);  // NaNs never reach a target
+}
+
+TEST(HistoryTest, SimSecondsToAccuracyTracksVirtualClock) {
+  auto timed = [](int round, double acc, double sim_seconds) {
+    RoundRecord r = MakeRecord(round, acc);
+    r.sim_seconds = sim_seconds;
+    return r;
+  };
+  History h;
+  EXPECT_DOUBLE_EQ(h.TotalSimSeconds(), 0.0);
+  h.Add(timed(0, 0.3, 10.0));
+  h.Add(timed(1, std::numeric_limits<double>::quiet_NaN(), 20.0));
+  h.Add(timed(2, 0.8, 30.0));
+  EXPECT_DOUBLE_EQ(h.SimSecondsToAccuracy(0.25), 10.0);
+  // Round 1 was not evaluated: the 0.5 target is first *observed* met at
+  // the round-2 evaluation, 30 virtual seconds in.
+  EXPECT_DOUBLE_EQ(h.SimSecondsToAccuracy(0.5), 30.0);
+  EXPECT_DOUBLE_EQ(h.SimSecondsToAccuracy(0.9), -1.0);
+  EXPECT_DOUBLE_EQ(h.TotalSimSeconds(), 30.0);
+}
+
+TEST(HistoryTest, TotalDroppedSumsRounds) {
+  History h;
+  RoundRecord a = MakeRecord(0, 0.1);
+  a.num_dropped = 2;
+  RoundRecord b = MakeRecord(1, 0.2);
+  b.num_dropped = 3;
+  b.num_admitted_partial = 1;
+  h.Add(a);
+  h.Add(b);
+  EXPECT_EQ(h.TotalDropped(), 5);
+}
+
+TEST(HistoryTest, WriteCsvIncludesSystemColumns) {
+  History h;
+  RoundRecord r = MakeRecord(0, 0.5);
+  r.sim_seconds = 12.5;
+  r.num_dropped = 1;
+  r.num_admitted_partial = 2;
+  h.Add(r);
+  const std::string path = ::testing::TempDir() + "/history_sys_test.csv";
+  ASSERT_TRUE(h.WriteCsv(path).ok());
+  std::ifstream in(path);
+  std::string header, row;
+  std::getline(in, header);
+  EXPECT_NE(header.find("sim_seconds"), std::string::npos);
+  EXPECT_NE(header.find("num_dropped"), std::string::npos);
+  EXPECT_NE(header.find("num_admitted_partial"), std::string::npos);
+  std::getline(in, row);
+  EXPECT_NE(row.find("12.5"), std::string::npos);
+  std::remove(path.c_str());
+}
+
 TEST(HistoryTest, FinalAndBestAccuracy) {
   History h;
   EXPECT_EQ(h.FinalAccuracy(), 0.0);

@@ -69,6 +69,43 @@ TEST_F(CsvTest, EscapeFieldStandalone) {
   EXPECT_EQ(CsvWriter::EscapeField("line\nbreak"), "\"line\nbreak\"");
 }
 
+TEST_F(CsvTest, ParseCsvBasicRows) {
+  const auto rows = ParseCsv("a,b,c\n1,2,3\n").ValueOrDie();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"1", "2", "3"}));
+}
+
+TEST_F(CsvTest, ParseCsvHandlesQuotesCrlfAndEmptyFields) {
+  const auto rows =
+      ParseCsv("\"a,b\",\"say \"\"hi\"\"\",\r\nx,\"multi\nline\",z")
+          .ValueOrDie();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a,b", "say \"hi\"", ""}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"x", "multi\nline", "z"}));
+}
+
+TEST_F(CsvTest, ParseCsvNoTrailingNewlineAndUnterminatedQuote) {
+  EXPECT_EQ(ParseCsv("only,row").ValueOrDie().size(), 1u);
+  EXPECT_EQ(ParseCsv("").ValueOrDie().size(), 0u);
+  EXPECT_TRUE(ParseCsv("\"oops").status().IsInvalidArgument());
+}
+
+TEST_F(CsvTest, WriterReaderRoundTrip) {
+  CsvWriter w;
+  ASSERT_TRUE(w.Open(path_).ok());
+  ASSERT_TRUE(w.WriteRow({"plain", "a,b", "say \"hi\"", "line\nbreak"}).ok());
+  ASSERT_TRUE(w.Close().ok());
+  const auto rows = ReadCsvFile(path_).ValueOrDie();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"plain", "a,b", "say \"hi\"",
+                                               "line\nbreak"}));
+}
+
+TEST_F(CsvTest, ReadCsvFileMissingFileFails) {
+  EXPECT_TRUE(ReadCsvFile("/nonexistent_dir_zzz/f.csv").status().IsIoError());
+}
+
 TEST_F(CsvTest, ReopenTruncates) {
   CsvWriter w;
   ASSERT_TRUE(w.Open(path_).ok());
