@@ -214,6 +214,45 @@ inline std::string FormatRounds(int rounds, int budget) {
   return std::to_string(rounds);
 }
 
+/// Formats a seconds-to-target value ("--" when the target was not reached).
+inline std::string FormatSeconds(double s) {
+  if (s < 0.0) return "--";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", s);
+  return buf;
+}
+
+/// Splits a comma-separated codec spec list ("identity,q8,topk10"); empty
+/// fields are skipped.
+inline std::vector<std::string> ParseCodecList(const std::string& csv) {
+  std::vector<std::string> specs;
+  std::string current;
+  for (char c : csv) {
+    if (c == ',') {
+      if (!current.empty()) specs.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (!current.empty()) specs.push_back(current);
+  return specs;
+}
+
+/// Builds a bench algorithm by its display name: FedADMM runs with variable
+/// epochs (paper §V-A), the baselines with fixed full-epoch work.
+inline std::unique_ptr<FederatedAlgorithm> MakeBenchAlgorithm(
+    const std::string& name) {
+  if (name == "FedADMM") return std::make_unique<FedAdmm>(BenchAdmmOptions());
+  if (name == "FedAvg") return std::make_unique<FedAvg>(BenchLocalSpec());
+  if (name == "FedProx") {
+    return std::make_unique<FedProx>(BenchLocalSpec(), kBenchRho);
+  }
+  FEDADMM_CHECK_MSG(name == "SCAFFOLD",
+                    "MakeBenchAlgorithm: unknown algorithm");
+  return std::make_unique<Scaffold>(BenchLocalSpec());
+}
+
 /// Prints a section header.
 inline void PrintHeader(const std::string& title) {
   std::printf("\n================================================================\n");

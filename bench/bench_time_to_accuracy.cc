@@ -1,24 +1,34 @@
 /// \file bench_time_to_accuracy.cc
-/// \brief Time-to-accuracy under system heterogeneity (src/sys engine).
+/// \brief Time-to-accuracy under system heterogeneity (src/sys engine),
+/// with optional uplink compression (src/comm).
 ///
 /// The paper reports rounds-to-accuracy, but rounds are free only in a
 /// simulator: a deployed round costs the critical path of its slowest
 /// admitted client. This bench replays the Section V-A comparison on the
 /// virtual clock: FedADMM / FedAvg / FedProx / SCAFFOLD across fleet
-/// presets and straggler policies, reporting simulated seconds (and client
-/// drops) next to rounds. FedADMM tolerates variable local work, so under
-/// deadline policies its stragglers contribute partial rounds where the
-/// fixed-epoch baselines' late full-epoch updates are discarded.
+/// presets, straggler policies and uplink codecs, reporting simulated
+/// seconds (and client drops) next to rounds. FedADMM tolerates variable
+/// local work, so under deadline policies its stragglers contribute partial
+/// rounds where the fixed-epoch baselines' late full-epoch updates are
+/// discarded; compressed uplinks shrink every client's transfer leg, which
+/// matters most on the metered `cellular` preset.
+///
+/// The round deadline is derived from *uncompressed* payloads for every
+/// codec, so codec rows compare on an identical deadline and any
+/// sim-seconds gap is the compression effect itself.
 ///
 /// Output: a summary table on stdout and a deterministic per-round CSV
 /// (FEDADMM_BENCH_CSV, default "bench_time_to_accuracy.csv") with columns
-/// preset,policy,algorithm,round,num_selected,num_dropped,
-/// num_admitted_partial,sim_seconds,train_loss,test_accuracy. Identical
-/// seeds produce identical CSVs — nothing host-clock-dependent is written.
+/// preset,policy,codec,algorithm,round,num_selected,num_dropped,
+/// num_admitted_partial,sim_seconds,upload_bytes,upload_bytes_raw,
+/// train_loss,test_accuracy. Identical seeds produce identical CSVs —
+/// nothing host-clock-dependent is written.
 ///
 /// Knobs: FEDADMM_BENCH_ROUNDS, FEDADMM_BENCH_SCALE, FEDADMM_BENCH_CSV,
 /// FEDADMM_BENCH_DEADLINE_PCTL (percentile of full-work client time used as
-/// the round deadline, default 60).
+/// the round deadline, default 60), FEDADMM_BENCH_CODECS (comma-separated
+/// uplink codec specs, default "identity,q8,topk10"; see
+/// comm/codec.h for the spec grammar).
 
 #include <algorithm>
 #include <cmath>
@@ -28,6 +38,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "comm/codec.h"
 #include "sys/system_model.h"
 #include "util/csv.h"
 
@@ -69,7 +80,8 @@ double FleetDeadline(const FleetModel& fleet, int steps_full,
 }
 
 History RunWithSystem(Scenario* scenario, FederatedAlgorithm* algo,
-                      const SystemModel* model, int rounds, uint64_t seed) {
+                      const SystemModel* model, UpdateCodec* uplink,
+                      int rounds, uint64_t seed) {
   UniformFractionSelector base(scenario->problem->num_clients(), 0.3);
   AvailabilityFilterSelector selector(&base, &model->fleet());
   SimulationConfig config;
@@ -78,14 +90,8 @@ History RunWithSystem(Scenario* scenario, FederatedAlgorithm* algo,
   config.num_threads = 8;
   Simulation sim(scenario->problem.get(), algo, &selector, config);
   sim.set_system_model(model);
+  if (uplink) sim.set_uplink_codec(uplink);
   return std::move(sim.Run()).ValueOrDie();
-}
-
-std::string FormatSeconds(double s) {
-  if (s < 0.0) return "--";
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.1f", s);
-  return buf;
 }
 
 }  // namespace
@@ -102,27 +108,32 @@ int main() {
   const uint64_t fleet_seed = 3;
   const uint64_t run_seed = 11;
   const std::vector<std::string> presets = {"uniform", "lognormal-speed",
+                                            "cellular",
                                             "cross-device-churn"};
   const std::vector<std::string> policies = {"deadline-drop",
                                              "deadline-admit-partial"};
+  const std::vector<std::string> codecs = ParseCodecList(
+      GetEnvString("FEDADMM_BENCH_CODECS", "identity,q8,topk10"));
 
   CsvWriter csv;
   const std::string csv_path =
       GetEnvString("FEDADMM_BENCH_CSV", "bench_time_to_accuracy.csv");
   if (!csv.Open(csv_path).ok() ||
-      !csv.WriteRow({"preset", "policy", "algorithm", "round", "num_selected",
-                     "num_dropped", "num_admitted_partial", "sim_seconds",
+      !csv.WriteRow({"preset", "policy", "codec", "algorithm", "round",
+                     "num_selected", "num_dropped", "num_admitted_partial",
+                     "sim_seconds", "upload_bytes", "upload_bytes_raw",
                      "train_loss", "test_accuracy"})
            .ok()) {
     std::fprintf(stderr, "cannot write %s\n", csv_path.c_str());
     return 1;
   }
 
-  std::printf("%-20s %-24s %-9s %8s %10s %8s %8s\n", "fleet", "policy",
-              "algo", "rounds", "sim-sec", "drops", "finalacc");
+  std::printf("%-18s %-22s %-9s %-9s %7s %9s %8s %6s %6s %8s\n", "fleet",
+              "policy", "codec", "algo", "rounds", "sim-sec", "tot-sec",
+              "drops", "upMB", "finalacc");
 
   // One shared scenario: the dataset/model/partition never vary across
-  // presets or policies (runs only read it), so synthesize it once.
+  // presets, policies or codecs (runs only read it), so synthesize it once.
   Scenario scenario = MakeScenario(TaskKind::kMnistLike, /*clients=*/30,
                                    /*iid=*/false, /*seed=*/1,
                                    /*samples_per_client=*/12);
@@ -146,60 +157,56 @@ int main() {
       SystemModel model(
           fleet, MakeStragglerPolicy(policy_name, deadline).ValueOrDie());
 
-      std::vector<RunResult> results;
-      {
-        FedAdmm algo(BenchAdmmOptions());  // variable epochs: paper §V-A
-        results.push_back(
-            {RunWithSystem(&scenario, &algo, &model, rounds, run_seed),
-             algo.name()});
-      }
-      {
-        FedAvg algo(BenchLocalSpec());  // fixed full-epoch work
-        results.push_back(
-            {RunWithSystem(&scenario, &algo, &model, rounds, run_seed),
-             algo.name()});
-      }
-      {
-        FedProx algo(BenchLocalSpec(), kBenchRho);
-        results.push_back(
-            {RunWithSystem(&scenario, &algo, &model, rounds, run_seed),
-             algo.name()});
-      }
-      {
-        Scaffold algo(BenchLocalSpec());
-        results.push_back(
-            {RunWithSystem(&scenario, &algo, &model, rounds, run_seed),
-             algo.name()});
-      }
-
-      for (const RunResult& result : results) {
-        const History& h = result.history;
-        for (const RoundRecord& r : h.records()) {
-          char loss[32], acc[32], sim[32];
-          std::snprintf(loss, sizeof(loss), "%.6g", r.train_loss);
-          std::snprintf(acc, sizeof(acc), "%.6g", r.test_accuracy);
-          std::snprintf(sim, sizeof(sim), "%.6g", r.sim_seconds);
-          if (!csv.WriteRow({preset, policy_name, result.algorithm,
-                             std::to_string(r.round),
-                             std::to_string(r.num_selected),
-                             std::to_string(r.num_dropped),
-                             std::to_string(r.num_admitted_partial), sim,
-                             loss, acc})
-                   .ok()) {
-            std::fprintf(stderr, "CSV write failed\n");
-            return 1;
-          }
+      for (const std::string& codec_spec : codecs) {
+        std::vector<RunResult> results;
+        for (const char* algo_name :
+             {"FedADMM", "FedAvg", "FedProx", "SCAFFOLD"}) {
+          std::unique_ptr<FederatedAlgorithm> algo =
+              MakeBenchAlgorithm(algo_name);
+          // Fresh codec per run: stateful codecs (ef:*) must not leak
+          // residuals across algorithms.
+          auto codec = MakeUpdateCodec(codec_spec).ValueOrDie();
+          results.push_back({RunWithSystem(&scenario, algo.get(), &model,
+                                           codec.get(), rounds, run_seed),
+                             algo->name()});
         }
-        std::printf("%-20s %-24s %-9s %8s %10s %8d %8.3f\n", preset.c_str(),
-                    policy_name.c_str(), result.algorithm.c_str(),
-                    FormatRounds(h.RoundsToAccuracy(kTargetAccuracy), rounds)
-                        .c_str(),
-                    FormatSeconds(h.SimSecondsToAccuracy(kTargetAccuracy))
-                        .c_str(),
-                    h.TotalDropped(), h.FinalAccuracy());
+
+        for (const RunResult& result : results) {
+          const History& h = result.history;
+          for (const RoundRecord& r : h.records()) {
+            char loss[32], acc[32], sim[32];
+            std::snprintf(loss, sizeof(loss), "%.6g", r.train_loss);
+            std::snprintf(acc, sizeof(acc), "%.6g", r.test_accuracy);
+            std::snprintf(sim, sizeof(sim), "%.6g", r.sim_seconds);
+            if (!csv.WriteRow({preset, policy_name, codec_spec,
+                               result.algorithm, std::to_string(r.round),
+                               std::to_string(r.num_selected),
+                               std::to_string(r.num_dropped),
+                               std::to_string(r.num_admitted_partial), sim,
+                               std::to_string(r.upload_bytes),
+                               std::to_string(r.upload_bytes_raw), loss,
+                               acc})
+                     .ok()) {
+              std::fprintf(stderr, "CSV write failed\n");
+              return 1;
+            }
+          }
+          std::printf(
+              "%-18s %-22s %-9s %-9s %7s %9s %8.2f %6d %6.2f %8.3f\n",
+              preset.c_str(), policy_name.c_str(), codec_spec.c_str(),
+              result.algorithm.c_str(),
+              FormatRounds(h.RoundsToAccuracy(kTargetAccuracy), rounds)
+                  .c_str(),
+              FormatSeconds(h.SimSecondsToAccuracy(kTargetAccuracy))
+                  .c_str(),
+              h.TotalSimSeconds(), h.TotalDropped(),
+              static_cast<double>(h.TotalUploadBytes()) / 1.0e6,
+              h.FinalAccuracy());
+        }
       }
-      std::printf("  (deadline %.2fs, fleet '%s', policy '%s')\n", deadline,
-                  preset.c_str(), policy_name.c_str());
+      std::printf("  (deadline %.2fs from raw payloads, fleet '%s', "
+                  "policy '%s')\n",
+                  deadline, preset.c_str(), policy_name.c_str());
     }
   }
 

@@ -1,0 +1,152 @@
+/// \file communication_efficiency.cpp
+/// \brief Walkthrough of the src/comm update-compression subsystem.
+///
+/// Cross-device FL lives and dies by the uplink: a 0.25 MB/s cellular
+/// client spends seconds shipping a full-precision model delta that
+/// compresses 4-30x with little accuracy cost. This example
+///   1. builds codecs from spec strings (MakeUpdateCodec),
+///   2. shows what each does to a single vector — wire bytes, error bound,
+///      reconstruction,
+///   3. demonstrates the error-feedback wrapper recovering what a 10%
+///      sparsifier drops, and
+///   4. runs FedADMM on the `cellular` fleet with identity / q8 / ef:topk10
+///      uplinks, printing time-to-accuracy and wire traffic from the same
+///      virtual clock the benches use.
+///
+/// Run: ./communication_efficiency [rounds]
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "comm/codec.h"
+#include "comm/error_feedback.h"
+#include "comm/topk.h"
+#include "core/fedadmm.h"
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "fl/nn_problem.h"
+#include "fl/selection.h"
+#include "fl/simulation.h"
+#include "sys/system_model.h"
+
+namespace {
+
+using namespace fedadmm;
+
+double MaxAbsError(const std::vector<float>& a, const std::vector<float>& b) {
+  double max_err = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    max_err = std::max(max_err, std::fabs(static_cast<double>(a[i]) -
+                                          static_cast<double>(b[i])));
+  }
+  return max_err;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int rounds = argc > 1 ? std::atoi(argv[1]) : 15;
+
+  // --- 1+2: one vector through every example codec. -----------------------
+  std::printf("== Codecs on a 1000-dim update (max|v| = 1) ==\n");
+  Rng rng(5);
+  std::vector<float> v(1000);
+  for (float& x : v) x = static_cast<float>(rng.Uniform(-1.0, 1.0));
+
+  std::printf("%-10s %10s %8s %12s\n", "codec", "wire B", "vs fp32",
+              "max |err|");
+  for (const std::string& spec : UpdateCodecExampleSpecs()) {
+    auto codec = MakeUpdateCodec(spec).ValueOrDie();
+    Rng stream(7);  // stochastic codecs draw from a caller-owned stream
+    const Payload payload = codec->Encode(/*stream=*/0, v, &stream);
+    const std::vector<float> decoded = codec->Decode(payload);
+    std::printf("%-10s %10lld %7.1fx %12.2e\n", spec.c_str(),
+                static_cast<long long>(payload.WireBytes()),
+                static_cast<double>(v.size() * 4) /
+                    static_cast<double>(payload.WireBytes()),
+                MaxAbsError(v, decoded));
+  }
+
+  // --- 3: error feedback makes a lossy codec lossless in the aggregate. ---
+  std::printf("\n== Error feedback: 30 rounds of top-10%% on a constant "
+              "vector ==\n");
+  TopKCodec plain(0.1);
+  ErrorFeedbackCodec ef(std::make_unique<TopKCodec>(0.1));
+  std::vector<double> sum_plain(v.size(), 0.0), sum_ef(v.size(), 0.0);
+  for (int t = 0; t < 30; ++t) {
+    const std::vector<float> dp = plain.Decode(plain.Encode(0, v, nullptr));
+    const std::vector<float> de = ef.Decode(ef.Encode(0, v, nullptr));
+    for (size_t i = 0; i < v.size(); ++i) {
+      sum_plain[i] += dp[i];
+      sum_ef[i] += de[i];
+    }
+  }
+  double err_plain = 0.0, err_ef = 0.0;
+  for (size_t i = 0; i < v.size(); ++i) {
+    const double target = 30.0 * v[i];
+    err_plain += (target - sum_plain[i]) * (target - sum_plain[i]);
+    err_ef += (target - sum_ef[i]) * (target - sum_ef[i]);
+  }
+  std::printf("  aggregate L2 error: plain top-k %.1f   with EF %.3f\n",
+              std::sqrt(err_plain), std::sqrt(err_ef));
+  std::printf("  (plain drops the same 90%% forever; EF's residual "
+              "retransmits it)\n");
+
+  // --- 4: codecs on the virtual clock, cellular fleet. --------------------
+  std::printf("\n== FedADMM on the 'cellular' fleet (%d rounds) ==\n",
+              rounds);
+  const int clients = 24;
+  const DataSplit split = GenerateSynthetic(
+      SyntheticBenchSpec(1, 12, /*train_per_class=*/48, 20, 0.8f));
+  Rng part_rng(17);
+  const Partition partition =
+      PartitionShards(split.train.labels(), clients, 2, &part_rng)
+          .ValueOrDie();
+  ModelConfig model_config;
+  model_config.arch = ModelConfig::Arch::kMlp;
+  model_config.in_channels = 1;
+  model_config.height = 12;
+  model_config.width = 12;
+  model_config.mlp_hidden = 256;
+  model_config.classes = 10;
+  NnFederatedProblem problem(model_config, &split.train, &split.test,
+                             partition, /*num_workers=*/4);
+
+  const FleetModel fleet =
+      FleetModel::FromPreset("cellular", clients, /*seed=*/3).ValueOrDie();
+  const SystemModel model(fleet, std::make_unique<WaitForAllPolicy>());
+
+  std::printf("%-10s %8s %9s %9s %8s\n", "uplink", "finalacc", "sim-sec",
+              "wire MB", "raw MB");
+  for (const std::string& spec : {std::string("identity"), std::string("q8"),
+                                  std::string("ef:topk10")}) {
+    auto codec = MakeUpdateCodec(spec).ValueOrDie();
+    FedAdmmOptions options;
+    options.local.learning_rate = 0.1f;
+    options.local.batch_size = 5;
+    options.local.max_epochs = 10;
+    options.local.variable_epochs = true;
+    options.rho = StepSchedule(1.0f);
+    FedAdmm algo(options);
+    UniformFractionSelector base(clients, 0.5);
+    AvailabilityFilterSelector selector(&base, &model.fleet());
+    SimulationConfig config;
+    config.max_rounds = rounds;
+    config.seed = 23;
+    Simulation sim(&problem, &algo, &selector, config);
+    sim.set_system_model(&model);
+    sim.set_uplink_codec(codec.get());
+    const History h = std::move(sim.Run()).ValueOrDie();
+    std::printf("%-10s %8.3f %9.1f %9.2f %8.2f\n", spec.c_str(),
+                h.FinalAccuracy(), h.TotalSimSeconds(),
+                static_cast<double>(h.TotalUploadBytes()) / 1.0e6,
+                static_cast<double>(h.TotalUploadBytesRaw()) / 1.0e6);
+  }
+  std::printf("\nSame trajectory quality, a fraction of the uplink: that is "
+              "the codec subsystem.\n");
+  return 0;
+}

@@ -1,0 +1,33 @@
+#include "comm/identity.h"
+
+#include "comm/wire.h"
+
+namespace fedadmm {
+
+Payload IdentityCodec::Encode(int64_t stream, const std::vector<float>& v,
+                              Rng* rng) {
+  (void)stream;
+  (void)rng;
+  Payload payload;
+  payload.bytes.reserve(v.size() * sizeof(float));
+  wire::Writer writer(&payload.bytes);
+  for (float x : v) writer.PutF32(x);
+  return payload;
+}
+
+std::vector<float> IdentityCodec::Decode(const Payload& payload) const {
+  FEDADMM_CHECK_MSG(payload.bytes.size() % sizeof(float) == 0,
+                    "IdentityCodec: payload not a multiple of 4 bytes");
+  const size_t dim = payload.bytes.size() / sizeof(float);
+  std::vector<float> v(dim);
+  wire::Reader reader(payload.bytes);
+  for (size_t i = 0; i < dim; ++i) v[i] = reader.GetF32();
+  return v;
+}
+
+int64_t IdentityCodec::WireBytes(int64_t dim) const {
+  FEDADMM_CHECK_MSG(dim >= 0, "IdentityCodec: negative dim");
+  return dim * static_cast<int64_t>(sizeof(float));
+}
+
+}  // namespace fedadmm

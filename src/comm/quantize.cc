@@ -1,0 +1,144 @@
+#include "comm/quantize.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "comm/wire.h"
+
+namespace fedadmm {
+namespace {
+
+// Chunk scale: max |v| over [begin, end). NaNs are rejected (a NaN delta is
+// a training bug upstream); infinities cannot be gridded either.
+float ChunkScale(const std::vector<float>& v, size_t begin, size_t end) {
+  float scale = 0.0f;
+  for (size_t i = begin; i < end; ++i) {
+    FEDADMM_CHECK_MSG(std::isfinite(v[i]), "quantize: non-finite input");
+    scale = std::max(scale, std::fabs(v[i]));
+  }
+  return scale;
+}
+
+}  // namespace
+
+ChunkedQuantCodec::ChunkedQuantCodec(int bits, int chunk)
+    : bits_(bits), chunk_(chunk), levels_((1 << bits) - 1) {
+  FEDADMM_CHECK_MSG(bits >= 1 && bits <= 16,
+                    "ChunkedQuantCodec: bits in [1, 16]");
+  FEDADMM_CHECK_MSG(chunk >= 1, "ChunkedQuantCodec: chunk >= 1");
+}
+
+Payload ChunkedQuantCodec::EncodeImpl(const std::vector<float>& v, Rng* rng) {
+  const int64_t dim = static_cast<int64_t>(v.size());
+  Payload payload;
+  payload.bytes.reserve(static_cast<size_t>(WireBytes(dim)));
+  wire::Writer writer(&payload.bytes);
+  writer.PutU64(v.size());
+  const size_t chunk = static_cast<size_t>(chunk_);
+  for (size_t begin = 0; begin < v.size(); begin += chunk) {
+    const size_t end = std::min(begin + chunk, v.size());
+    const float scale = ChunkScale(v, begin, end);
+    writer.PutF32(scale);
+    wire::BitPacker packer(&writer, bits_);
+    for (size_t i = begin; i < end; ++i) {
+      // Grid position in [0, L] of v on the symmetric range [-s, +s]. An
+      // all-zero chunk quantizes the grid origin (x = 0): code 0 decodes
+      // to exactly 0, and the stochastic subclass still consumes its one
+      // draw per coordinate, keeping the stream advance data-independent.
+      double x = 0.0;
+      if (scale > 0.0f) {
+        const double dx = static_cast<double>(v[i]) / scale;
+        x = (dx + 1.0) / 2.0 * levels_;
+      }
+      uint32_t code = Quantize(x, rng);
+      if (code > static_cast<uint32_t>(levels_)) {
+        code = static_cast<uint32_t>(levels_);
+      }
+      packer.Put(code);
+    }
+    packer.Flush();
+  }
+  return payload;
+}
+
+std::vector<float> ChunkedQuantCodec::Decode(const Payload& payload) const {
+  wire::Reader reader(payload.bytes);
+  const uint64_t dim = reader.GetU64();
+  std::vector<float> v(dim);
+  const size_t chunk = static_cast<size_t>(chunk_);
+  for (size_t begin = 0; begin < dim; begin += chunk) {
+    const size_t end = std::min(begin + chunk, static_cast<size_t>(dim));
+    const float scale = reader.GetF32();
+    wire::BitUnpacker unpacker(&reader, bits_);
+    for (size_t i = begin; i < end; ++i) {
+      const uint32_t code = unpacker.Get();
+      if (scale == 0.0f) {
+        v[i] = 0.0f;
+      } else {
+        v[i] = static_cast<float>((2.0 * code / levels_ - 1.0) * scale);
+      }
+    }
+  }
+  FEDADMM_CHECK_MSG(reader.remaining() == 0,
+                    "ChunkedQuantCodec: trailing payload bytes");
+  return v;
+}
+
+int64_t ChunkedQuantCodec::WireBytes(int64_t dim) const {
+  FEDADMM_CHECK_MSG(dim >= 0, "ChunkedQuantCodec: negative dim");
+  int64_t bytes = 8;  // u64 dim
+  for (int64_t begin = 0; begin < dim; begin += chunk_) {
+    const int64_t len = std::min<int64_t>(chunk_, dim - begin);
+    bytes += 4 + wire::BitPacker::PackedBytes(len, bits_);
+  }
+  return bytes;
+}
+
+std::string UniformQuantCodec::name() const {
+  std::string n = "q";
+  n += std::to_string(bits());
+  if (chunk() != kDefaultQuantChunk) {
+    n += "c";
+    n += std::to_string(chunk());
+  }
+  return n;
+}
+
+Payload UniformQuantCodec::Encode(int64_t stream, const std::vector<float>& v,
+                                  Rng* rng) {
+  (void)stream;
+  return EncodeImpl(v, rng);
+}
+
+uint32_t UniformQuantCodec::Quantize(double x, Rng* rng) const {
+  (void)rng;
+  return static_cast<uint32_t>(std::floor(x + 0.5));
+}
+
+std::string StochasticQuantCodec::name() const {
+  std::string n = "sq";
+  n += std::to_string(bits());
+  if (chunk() != kDefaultQuantChunk) {
+    n += "c";
+    n += std::to_string(chunk());
+  }
+  return n;
+}
+
+Payload StochasticQuantCodec::Encode(int64_t stream,
+                                     const std::vector<float>& v, Rng* rng) {
+  (void)stream;
+  FEDADMM_CHECK_MSG(rng != nullptr, "StochasticQuantCodec: Encode needs Rng");
+  return EncodeImpl(v, rng);
+}
+
+uint32_t StochasticQuantCodec::Quantize(double x, Rng* rng) const {
+  const double base = std::floor(x);
+  const double frac = x - base;
+  // One uniform draw per coordinate, even when frac == 0, keeps the stream
+  // advance independent of the data — replay-stable under tiny perturbations.
+  const bool up = rng->Uniform() < frac;
+  return static_cast<uint32_t>(base) + (up ? 1u : 0u);
+}
+
+}  // namespace fedadmm

@@ -1,0 +1,84 @@
+#include "comm/topk.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "comm/wire.h"
+
+namespace fedadmm {
+
+TopKCodec::TopKCodec(double fraction) : fraction_(fraction) {
+  FEDADMM_CHECK_MSG(fraction > 0.0 && fraction <= 1.0,
+                    "TopKCodec: fraction in (0, 1]");
+}
+
+std::string TopKCodec::name() const {
+  // Canonical integer-percent spelling; factory specs are integer percents.
+  return "topk" + std::to_string(static_cast<int>(
+                      std::lround(fraction_ * 100.0)));
+}
+
+int64_t TopKCodec::KForDim(int64_t dim) const {
+  FEDADMM_CHECK_MSG(dim >= 0, "TopKCodec: negative dim");
+  if (dim == 0) return 0;
+  const int64_t k = static_cast<int64_t>(
+      std::ceil(fraction_ * static_cast<double>(dim)));
+  return std::min(dim, std::max<int64_t>(1, k));
+}
+
+Payload TopKCodec::Encode(int64_t stream, const std::vector<float>& v,
+                          Rng* rng) {
+  (void)stream;
+  (void)rng;
+  const int64_t dim = static_cast<int64_t>(v.size());
+  const int64_t k = KForDim(dim);
+
+  // Select the k largest magnitudes; ties prefer the lower index so the
+  // wire form is a pure function of the input.
+  std::vector<uint32_t> order(v.size());
+  std::iota(order.begin(), order.end(), 0u);
+  auto larger = [&v](uint32_t a, uint32_t b) {
+    const float ma = std::fabs(v[a]);
+    const float mb = std::fabs(v[b]);
+    if (ma != mb) return ma > mb;
+    return a < b;
+  };
+  if (k < dim) {
+    std::nth_element(order.begin(), order.begin() + k, order.end(), larger);
+    order.resize(static_cast<size_t>(k));
+  }
+  std::sort(order.begin(), order.end());
+
+  Payload payload;
+  payload.bytes.reserve(static_cast<size_t>(WireBytes(dim)));
+  wire::Writer writer(&payload.bytes);
+  writer.PutU64(static_cast<uint64_t>(dim));
+  writer.PutU64(static_cast<uint64_t>(k));
+  for (uint32_t idx : order) writer.PutU32(idx);
+  for (uint32_t idx : order) writer.PutF32(v[idx]);
+  return payload;
+}
+
+std::vector<float> TopKCodec::Decode(const Payload& payload) const {
+  wire::Reader reader(payload.bytes);
+  const uint64_t dim = reader.GetU64();
+  const uint64_t k = reader.GetU64();
+  FEDADMM_CHECK_MSG(k <= dim, "TopKCodec: k > dim in payload");
+  std::vector<uint32_t> indices(k);
+  for (uint64_t i = 0; i < k; ++i) indices[i] = reader.GetU32();
+  std::vector<float> v(dim, 0.0f);
+  for (uint64_t i = 0; i < k; ++i) {
+    FEDADMM_CHECK_MSG(indices[i] < dim, "TopKCodec: index out of range");
+    v[indices[i]] = reader.GetF32();
+  }
+  FEDADMM_CHECK_MSG(reader.remaining() == 0,
+                    "TopKCodec: trailing payload bytes");
+  return v;
+}
+
+int64_t TopKCodec::WireBytes(int64_t dim) const {
+  return 16 + 8 * KForDim(dim);
+}
+
+}  // namespace fedadmm

@@ -1,0 +1,166 @@
+/// \file wire.h
+/// \brief Byte-level primitives for codec wire formats.
+///
+/// Every codec serializes to little-endian bytes through these helpers so
+/// `WireBytes()` accounting is exact by construction and payloads are
+/// portable across hosts of the same endianness class. The reader bounds-
+/// checks every access: a malformed payload is a programmer error (payloads
+/// are produced in-process) and aborts via FEDADMM_CHECK.
+
+#ifndef FEDADMM_COMM_WIRE_H_
+#define FEDADMM_COMM_WIRE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "util/status.h"
+
+namespace fedadmm::wire {
+
+/// \brief Appends fixed-width little-endian values to a byte buffer.
+class Writer {
+ public:
+  explicit Writer(std::vector<uint8_t>* out) : out_(out) {
+    FEDADMM_CHECK(out != nullptr);
+  }
+
+  void PutU8(uint8_t v) { out_->push_back(v); }
+
+  void PutU32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      out_->push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  void PutU64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      out_->push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  void PutF32(float v) {
+    uint32_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    PutU32(bits);
+  }
+
+ private:
+  std::vector<uint8_t>* out_;
+};
+
+/// \brief Reads fixed-width little-endian values from a byte buffer.
+class Reader {
+ public:
+  explicit Reader(const std::vector<uint8_t>& bytes) : bytes_(bytes) {}
+
+  uint8_t GetU8() {
+    FEDADMM_CHECK_MSG(pos_ + 1 <= bytes_.size(), "wire: truncated payload");
+    return bytes_[pos_++];
+  }
+
+  uint32_t GetU32() {
+    FEDADMM_CHECK_MSG(pos_ + 4 <= bytes_.size(), "wire: truncated payload");
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(bytes_[pos_ + static_cast<size_t>(i)])
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  uint64_t GetU64() {
+    FEDADMM_CHECK_MSG(pos_ + 8 <= bytes_.size(), "wire: truncated payload");
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(bytes_[pos_ + static_cast<size_t>(i)])
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  float GetF32() {
+    const uint32_t bits = GetU32();
+    float v = 0.0f;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  /// Bytes not yet consumed.
+  size_t remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  const std::vector<uint8_t>& bytes_;
+  size_t pos_ = 0;
+};
+
+/// \brief Packs fixed-width codes (1..16 bits each) into a byte stream,
+/// little-endian within and across bytes. `Flush` pads the final partial
+/// byte with zero bits.
+class BitPacker {
+ public:
+  BitPacker(Writer* out, int bits) : out_(out), bits_(bits) {
+    FEDADMM_CHECK_MSG(bits >= 1 && bits <= 16, "BitPacker: bits in [1,16]");
+  }
+
+  void Put(uint32_t code) {
+    acc_ |= static_cast<uint64_t>(code) << filled_;
+    filled_ += bits_;
+    while (filled_ >= 8) {
+      out_->PutU8(static_cast<uint8_t>(acc_ & 0xFF));
+      acc_ >>= 8;
+      filled_ -= 8;
+    }
+  }
+
+  void Flush() {
+    if (filled_ > 0) {
+      out_->PutU8(static_cast<uint8_t>(acc_ & 0xFF));
+      acc_ = 0;
+      filled_ = 0;
+    }
+  }
+
+  /// Exact bytes `count` codes of `bits` bits occupy after Flush.
+  static int64_t PackedBytes(int64_t count, int bits) {
+    return (count * static_cast<int64_t>(bits) + 7) / 8;
+  }
+
+ private:
+  Writer* out_;
+  int bits_;
+  uint64_t acc_ = 0;
+  int filled_ = 0;
+};
+
+/// \brief Unpacks codes written by `BitPacker`.
+class BitUnpacker {
+ public:
+  BitUnpacker(Reader* reader, int bits) : reader_(reader), bits_(bits) {
+    FEDADMM_CHECK_MSG(bits >= 1 && bits <= 16, "BitUnpacker: bits in [1,16]");
+  }
+
+  uint32_t Get() {
+    while (filled_ < bits_) {
+      acc_ |= static_cast<uint64_t>(reader_->GetU8()) << filled_;
+      filled_ += 8;
+    }
+    const uint32_t mask = (1u << bits_) - 1u;
+    const uint32_t code = static_cast<uint32_t>(acc_) & mask;
+    acc_ >>= bits_;
+    filled_ -= bits_;
+    return code;
+  }
+
+ private:
+  Reader* reader_;
+  int bits_;
+  uint64_t acc_ = 0;
+  int filled_ = 0;
+};
+
+}  // namespace fedadmm::wire
+
+#endif  // FEDADMM_COMM_WIRE_H_

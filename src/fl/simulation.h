@@ -12,6 +12,7 @@
 #include <functional>
 #include <memory>
 
+#include "comm/codec.h"
 #include "fl/algorithm.h"
 #include "fl/problem.h"
 #include "fl/selection.h"
@@ -65,6 +66,24 @@ class Simulation {
   /// trajectory is bitwise identical to a build without src/sys.
   void set_system_model(const SystemModel* model) { system_model_ = model; }
 
+  /// Attaches an uplink codec (borrowed, may be nullptr): every client
+  /// update is encoded to a wire payload, its exact byte size is billed
+  /// (`RoundRecord::upload_bytes`, and the virtual clock when a system
+  /// model is attached), and the server aggregates the decoded — lossy —
+  /// reconstruction. Only updates the straggler policy admits are encoded
+  /// (a dropped upload never feeds error-feedback residuals; partial
+  /// admissions encode their scaled delta), in deterministic index order.
+  /// With the identity codec (or none) the trajectory and accounting are
+  /// bitwise unchanged.
+  void set_uplink_codec(UpdateCodec* codec) { uplink_codec_ = codec; }
+
+  /// Attaches a downlink codec (borrowed, may be nullptr): the server
+  /// encodes the θ broadcast once per round, clients train on the decoded
+  /// broadcast, and per-client download bytes bill the compressed size
+  /// (algorithm extras beyond θ — e.g. SCAFFOLD's control variate — stay
+  /// uncompressed).
+  void set_downlink_codec(UpdateCodec* codec) { downlink_codec_ = codec; }
+
   /// Final global model (valid after Run).
   const std::vector<float>& theta() const { return theta_; }
 
@@ -75,6 +94,8 @@ class Simulation {
   SimulationConfig config_;
   RoundObserver observer_;
   const SystemModel* system_model_ = nullptr;
+  UpdateCodec* uplink_codec_ = nullptr;
+  UpdateCodec* downlink_codec_ = nullptr;
   std::vector<float> theta_;
 };
 

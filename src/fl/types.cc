@@ -62,19 +62,34 @@ int64_t History::TotalDownloadBytes() const {
   return total;
 }
 
+int64_t History::TotalUploadBytesRaw() const {
+  int64_t total = 0;
+  for (const RoundRecord& r : records_) total += r.upload_bytes_raw;
+  return total;
+}
+
+int64_t History::TotalDownloadBytesRaw() const {
+  int64_t total = 0;
+  for (const RoundRecord& r : records_) total += r.download_bytes_raw;
+  return total;
+}
+
 Status History::WriteCsv(const std::string& path) const {
   CsvWriter writer;
   FEDADMM_RETURN_IF_ERROR(writer.Open(path));
   FEDADMM_RETURN_IF_ERROR(writer.WriteRow(
       {"round", "num_selected", "train_loss", "test_accuracy", "test_loss",
-       "upload_bytes", "download_bytes", "wall_seconds", "sim_seconds",
-       "num_dropped", "num_admitted_partial"}));
+       "upload_bytes", "download_bytes", "upload_bytes_raw",
+       "download_bytes_raw", "wall_seconds", "sim_seconds", "num_dropped",
+       "num_admitted_partial"}));
   for (const RoundRecord& r : records_) {
     FEDADMM_RETURN_IF_ERROR(writer.WriteNumericRow(
         {static_cast<double>(r.round), static_cast<double>(r.num_selected),
          r.train_loss, r.test_accuracy, r.test_loss,
          static_cast<double>(r.upload_bytes),
-         static_cast<double>(r.download_bytes), r.wall_seconds,
+         static_cast<double>(r.download_bytes),
+         static_cast<double>(r.upload_bytes_raw),
+         static_cast<double>(r.download_bytes_raw), r.wall_seconds,
          r.sim_seconds, static_cast<double>(r.num_dropped),
          static_cast<double>(r.num_admitted_partial)}));
   }

@@ -33,10 +33,20 @@ struct UpdateMessage {
   /// inexactness measure ε_i of Eq. (6) actually attained.
   double final_grad_norm_sq = 0.0;
 
-  /// Bytes uploaded by this client (float32 payloads).
-  int64_t UploadBytes() const {
+  /// Bytes this update occupied on the wire after uplink encoding
+  /// (src/comm); -1 when no codec ran and the raw fp32 size applies.
+  int64_t wire_bytes = -1;
+
+  /// Uncompressed float32 size of the payload vectors.
+  int64_t RawBytes() const {
     return static_cast<int64_t>((delta.size() + delta2.size()) *
                                 sizeof(float));
+  }
+
+  /// Bytes uploaded by this client: the encoded wire size when an uplink
+  /// codec ran, the raw float32 size otherwise.
+  int64_t UploadBytes() const {
+    return wire_bytes >= 0 ? wire_bytes : RawBytes();
   }
 };
 
@@ -49,9 +59,15 @@ struct RoundRecord {
   /// Global test metrics (NaN when evaluation was skipped this round).
   double test_accuracy = 0.0;
   double test_loss = 0.0;
-  /// Communication this round.
+  /// Communication this round: bytes that actually crossed the (simulated)
+  /// network, i.e. codec wire sizes when codecs are attached.
   int64_t upload_bytes = 0;
   int64_t download_bytes = 0;
+  /// The same traffic at uncompressed float32 size. Equal to the wire
+  /// columns when no codec is attached; the ratio raw/wire is the round's
+  /// compression factor.
+  int64_t upload_bytes_raw = 0;
+  int64_t download_bytes_raw = 0;
   /// Wall-clock duration of the round (client phase + aggregation + eval).
   double wall_seconds = 0.0;
   /// Simulated deployment time elapsed at the end of this round, from the
@@ -97,10 +113,14 @@ class History {
   /// Best test accuracy across the run (0 if none).
   double BestAccuracy() const;
 
-  /// Total bytes uploaded across the run.
+  /// Total wire bytes uploaded across the run.
   int64_t TotalUploadBytes() const;
-  /// Total bytes downloaded across the run.
+  /// Total wire bytes downloaded across the run.
   int64_t TotalDownloadBytes() const;
+  /// Total uncompressed-equivalent bytes uploaded across the run.
+  int64_t TotalUploadBytesRaw() const;
+  /// Total uncompressed-equivalent bytes downloaded across the run.
+  int64_t TotalDownloadBytesRaw() const;
 
   /// Writes the history as CSV with a header row.
   Status WriteCsv(const std::string& path) const;

@@ -1,0 +1,84 @@
+/// \file codec_test_util.h
+/// \brief Shared helpers for the codec property tests: reference error
+/// bounds re-derived independently of the codec implementation, and seeded
+/// test-vector generators.
+
+#ifndef FEDADMM_TESTS_COMM_CODEC_TEST_UTIL_H_
+#define FEDADMM_TESTS_COMM_CODEC_TEST_UTIL_H_
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace fedadmm::testing {
+
+/// One ulp of |x| — the slack a float round-trip may legitimately add on
+/// top of a codec's mathematical bound.
+inline double Ulp(float x) {
+  const float ax = std::fabs(x);
+  return static_cast<double>(
+      std::nextafter(ax, std::numeric_limits<float>::infinity()) - ax);
+}
+
+/// Per-chunk scales (max |v| per chunk) — the reference for quantizer
+/// bounds, computed independently of the codec.
+inline std::vector<float> ChunkScales(const std::vector<float>& v,
+                                      int chunk) {
+  std::vector<float> scales;
+  for (size_t begin = 0; begin < v.size();
+       begin += static_cast<size_t>(chunk)) {
+    const size_t end =
+        std::min(begin + static_cast<size_t>(chunk), v.size());
+    float s = 0.0f;
+    for (size_t i = begin; i < end; ++i) s = std::max(s, std::fabs(v[i]));
+    scales.push_back(s);
+  }
+  return scales;
+}
+
+/// Checks |decoded - v| coordinate-wise against a chunked quantizer bound of
+/// `steps` grid steps (1 = deterministic rounding, 2 = stochastic).
+/// Returns the first violating index, or -1 if the bound holds.
+inline int64_t FirstQuantBoundViolation(const std::vector<float>& v,
+                                        const std::vector<float>& decoded,
+                                        int bits, int chunk, double steps) {
+  const std::vector<float> scales = ChunkScales(v, chunk);
+  const double levels = static_cast<double>((1 << bits) - 1);
+  for (size_t i = 0; i < v.size(); ++i) {
+    const float scale = scales[i / static_cast<size_t>(chunk)];
+    const double bound =
+        steps * static_cast<double>(scale) / levels + 2.0 * Ulp(scale);
+    const double err = std::fabs(static_cast<double>(decoded[i]) -
+                                 static_cast<double>(v[i]));
+    if (err > bound) return static_cast<int64_t>(i);
+  }
+  return -1;
+}
+
+/// A seeded random vector mixing magnitudes across ~40 orders of magnitude
+/// (denormals included), with a sprinkling of exact zeros.
+inline std::vector<float> RandomVector(size_t dim, Rng* rng) {
+  std::vector<float> v(dim);
+  for (float& x : v) {
+    const double u = rng->Uniform();
+    if (u < 0.1) {
+      x = 0.0f;
+    } else if (u < 0.2) {
+      // Denormal-range values.
+      x = static_cast<float>(rng->Normal(0.0, 1.0) * 1e-41);
+    } else if (u < 0.3) {
+      // Large (but inf-free) magnitudes.
+      x = static_cast<float>(rng->Normal(0.0, 1.0) * 1e37);
+    } else {
+      x = static_cast<float>(rng->Normal(0.0, 1.0));
+    }
+  }
+  return v;
+}
+
+}  // namespace fedadmm::testing
+
+#endif  // FEDADMM_TESTS_COMM_CODEC_TEST_UTIL_H_

@@ -1,0 +1,154 @@
+// Error-feedback wrapper properties. The load-bearing one is residual
+// telescoping: sum_t Decode(p_t) = sum_t v_t - r_T, so the server's
+// accumulated view trails the uncompressed sum by a *single* round's
+// compression error no matter how many rounds ran — lossy codecs become
+// "eventually lossless" in the aggregate.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "comm/codec_test_util.h"
+#include "comm/error_feedback.h"
+#include "comm/quantize.h"
+#include "comm/topk.h"
+
+namespace fedadmm {
+namespace {
+
+using testing::RandomVector;
+
+std::vector<float> GaussianVector(size_t dim, Rng* rng) {
+  std::vector<float> v(dim);
+  for (float& x : v) x = static_cast<float>(rng->Normal(0.0, 1.0));
+  return v;
+}
+
+TEST(ErrorFeedbackTest, ResidualTelescopingTopK) {
+  // Aggressive 5% sparsifier: plain top-k loses 95% of each round's mass
+  // for good; with EF the summed reconstruction tracks the summed input to
+  // within the final residual (one round's compression error, not T's).
+  const size_t dim = 200;
+  const int rounds = 200;
+  ErrorFeedbackCodec codec(std::make_unique<TopKCodec>(0.05));
+  TopKCodec plain(0.05);
+  Rng rng(37);
+
+  std::vector<double> sum_input(dim, 0.0);
+  std::vector<double> sum_decoded(dim, 0.0);
+  std::vector<double> sum_plain(dim, 0.0);
+  for (int t = 0; t < rounds; ++t) {
+    const std::vector<float> v = GaussianVector(dim, &rng);
+    const std::vector<float> decoded =
+        codec.Decode(codec.Encode(/*stream=*/4, v, nullptr));
+    const std::vector<float> plain_decoded =
+        plain.Decode(plain.Encode(4, v, nullptr));
+    for (size_t i = 0; i < dim; ++i) {
+      sum_input[i] += v[i];
+      sum_decoded[i] += decoded[i];
+      sum_plain[i] += plain_decoded[i];
+    }
+  }
+  // Telescoping identity: sum(decoded) = sum(input) - residual_T, exactly
+  // (up to float accumulation noise).
+  const std::vector<float>& residual = codec.residual(4);
+  ASSERT_EQ(residual.size(), dim);
+  for (size_t i = 0; i < dim; ++i) {
+    EXPECT_NEAR(sum_decoded[i], sum_input[i] - residual[i], 1e-3) << i;
+  }
+  // The EF aggregate error is the carried residual and plateaus; the plain
+  // codec's dropped mass keeps accumulating with sqrt(T).
+  double ef_err = 0.0;
+  double plain_err = 0.0;
+  for (size_t i = 0; i < dim; ++i) {
+    ef_err += (sum_input[i] - sum_decoded[i]) * (sum_input[i] - sum_decoded[i]);
+    plain_err += (sum_input[i] - sum_plain[i]) * (sum_input[i] - sum_plain[i]);
+  }
+  EXPECT_LT(ef_err, plain_err);
+}
+
+TEST(ErrorFeedbackTest, ResidualEqualsCompensatedMinusDecoded) {
+  ErrorFeedbackCodec codec(std::make_unique<UniformQuantCodec>(4));
+  Rng rng(41);
+  const std::vector<float> v1 = GaussianVector(64, &rng);
+  const Payload p1 = codec.Encode(0, v1, nullptr);
+  const std::vector<float> d1 = codec.Decode(p1);
+  const std::vector<float>& r1 = codec.residual(0);
+  for (size_t i = 0; i < v1.size(); ++i) {
+    EXPECT_FLOAT_EQ(r1[i], v1[i] - d1[i]) << i;  // round 1: e = v
+  }
+  // Round 2 compensates: the encoded vector is v2 + r1, so the residual
+  // becomes (v2 + r1) - d2.
+  const std::vector<float> r1_copy = r1;
+  const std::vector<float> v2 = GaussianVector(64, &rng);
+  const Payload p2 = codec.Encode(0, v2, nullptr);
+  const std::vector<float> d2 = codec.Decode(p2);
+  const std::vector<float>& r2 = codec.residual(0);
+  for (size_t i = 0; i < v2.size(); ++i) {
+    EXPECT_FLOAT_EQ(r2[i], v2[i] + r1_copy[i] - d2[i]) << i;
+  }
+}
+
+TEST(ErrorFeedbackTest, StreamsCarryIndependentResiduals) {
+  ErrorFeedbackCodec codec(std::make_unique<TopKCodec>(0.25));
+  const std::vector<float> a = {4.0f, 1.0f, 0.5f, 0.25f};
+  const std::vector<float> b = {-8.0f, -2.0f, -1.0f, -0.5f};
+  codec.Encode(1, a, nullptr);
+  codec.Encode(2, b, nullptr);
+  // Stream 1's residual reflects only a's dropped coordinates.
+  EXPECT_EQ(codec.residual(1),
+            (std::vector<float>{0.0f, 1.0f, 0.5f, 0.25f}));
+  EXPECT_EQ(codec.residual(2),
+            (std::vector<float>{0.0f, -2.0f, -1.0f, -0.5f}));
+  EXPECT_TRUE(codec.residual(99).empty());
+}
+
+TEST(ErrorFeedbackTest, DroppedCoordinatesEventuallyTransmit) {
+  // A constant input with one dominant coordinate: plain top-1 would
+  // starve the others forever; EF's residual grows until each wins a slot.
+  ErrorFeedbackCodec codec(std::make_unique<TopKCodec>(0.2));  // k=2 of 6
+  const std::vector<float> v = {10.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f};
+  std::vector<double> sum_decoded(v.size(), 0.0);
+  for (int t = 0; t < 30; ++t) {
+    const std::vector<float> d = codec.Decode(codec.Encode(0, v, nullptr));
+    for (size_t i = 0; i < v.size(); ++i) sum_decoded[i] += d[i];
+  }
+  for (size_t i = 1; i < v.size(); ++i) {
+    EXPECT_GT(sum_decoded[i], 0.0) << "coordinate " << i << " starved";
+  }
+}
+
+TEST(ErrorFeedbackTest, DimensionChangeResetsTheStream) {
+  ErrorFeedbackCodec codec(std::make_unique<UniformQuantCodec>(2));
+  Rng rng(43);
+  codec.Encode(0, GaussianVector(32, &rng), nullptr);
+  EXPECT_EQ(codec.residual(0).size(), 32u);
+  // New dimension: the stale residual must not leak into the new shape.
+  const std::vector<float> v = GaussianVector(16, &rng);
+  const std::vector<float> d = codec.Decode(codec.Encode(0, v, nullptr));
+  EXPECT_EQ(codec.residual(0).size(), 16u);
+  for (size_t i = 0; i < v.size(); ++i) {
+    EXPECT_FLOAT_EQ(codec.residual(0)[i], v[i] - d[i]) << i;
+  }
+}
+
+TEST(ErrorFeedbackTest, ResetDropsAllMemory) {
+  ErrorFeedbackCodec codec(std::make_unique<TopKCodec>(0.5));
+  codec.Encode(0, {1.0f, 2.0f}, nullptr);
+  codec.Encode(1, {3.0f, 4.0f}, nullptr);
+  codec.Reset();
+  EXPECT_TRUE(codec.residual(0).empty());
+  EXPECT_TRUE(codec.residual(1).empty());
+}
+
+TEST(ErrorFeedbackTest, AccountingAndNameDelegateToInner) {
+  ErrorFeedbackCodec codec(std::make_unique<TopKCodec>(0.1));
+  TopKCodec inner(0.1);
+  EXPECT_EQ(codec.WireBytes(1000), inner.WireBytes(1000));
+  EXPECT_EQ(codec.name(), "ef:topk10");
+}
+
+}  // namespace
+}  // namespace fedadmm

@@ -1,0 +1,108 @@
+// Uniform (deterministic) quantization properties: the documented error
+// bound |Decode(Encode(v)) - v| <= scale_chunk / (2^b - 1), chunk isolation
+// (an outlier only coarsens its own chunk), and exactness at the grid's
+// fixed points.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "comm/codec_test_util.h"
+#include "comm/quantize.h"
+
+namespace fedadmm {
+namespace {
+
+using testing::FirstQuantBoundViolation;
+using testing::RandomVector;
+
+TEST(UniformQuantTest, ErrorWithinHalfGridStepEveryBitWidth) {
+  Rng rng(11);
+  for (int bits : {1, 2, 4, 8, 12, 16}) {
+    UniformQuantCodec codec(bits);
+    for (size_t dim : {1u, 255u, 256u, 257u, 2000u}) {
+      const std::vector<float> v = RandomVector(dim, &rng);
+      const std::vector<float> decoded =
+          codec.Decode(codec.Encode(0, v, nullptr));
+      ASSERT_EQ(decoded.size(), v.size());
+      EXPECT_EQ(FirstQuantBoundViolation(v, decoded, bits, codec.chunk(),
+                                         /*steps=*/1.0),
+                -1)
+          << "bits=" << bits << " dim=" << dim;
+    }
+  }
+}
+
+TEST(UniformQuantTest, AllZeroVectorDecodesExactly) {
+  UniformQuantCodec codec(8);
+  const std::vector<float> zeros(777, 0.0f);
+  const std::vector<float> decoded =
+      codec.Decode(codec.Encode(0, zeros, nullptr));
+  EXPECT_EQ(decoded, zeros);
+}
+
+TEST(UniformQuantTest, GridEndpointsAreExact) {
+  // +scale, -scale and 0 sit on the grid for every odd-level count... only
+  // the endpoints are guaranteed for even L; check those.
+  UniformQuantCodec codec(8);
+  std::vector<float> v(10, 0.0f);
+  v[3] = 2.5f;   // chunk max: +scale, exact
+  v[7] = -2.5f;  // -scale, exact
+  const std::vector<float> decoded =
+      codec.Decode(codec.Encode(0, v, nullptr));
+  EXPECT_FLOAT_EQ(decoded[3], 2.5f);
+  EXPECT_FLOAT_EQ(decoded[7], -2.5f);
+}
+
+TEST(UniformQuantTest, ChunksQuantizeIndependently) {
+  // A huge outlier in chunk 0 must not coarsen chunk 1: values there keep
+  // the fine grid of their own (small) scale.
+  const int chunk = 4;
+  UniformQuantCodec codec(8, chunk);
+  std::vector<float> v = {1e30f, 0.5f, -0.25f, 0.125f,   // chunk 0: outlier
+                          0.5f, -0.25f, 0.125f, 0.0625f};  // chunk 1: small
+  const std::vector<float> decoded =
+      codec.Decode(codec.Encode(0, v, nullptr));
+  // Chunk 0's small entries got crushed by the outlier's grid...
+  EXPECT_NEAR(decoded[1], 0.0f, 1.001 * 1e30 / 255.0);
+  // ...but chunk 1's identical values survive at their own scale.
+  const double fine_bound = 0.5 / 255.0 * 1.001;
+  EXPECT_NEAR(decoded[4], 0.5f, fine_bound);
+  EXPECT_NEAR(decoded[5], -0.25f, fine_bound);
+  EXPECT_NEAR(decoded[6], 0.125f, fine_bound);
+}
+
+TEST(UniformQuantTest, Fp16StyleBoundIsTight) {
+  // b = 16: error <= scale / 65535 — over 100x tighter than 8-bit.
+  Rng rng(13);
+  UniformQuantCodec q16(16);
+  const std::vector<float> v = RandomVector(1000, &rng);
+  const std::vector<float> decoded = q16.Decode(q16.Encode(0, v, nullptr));
+  EXPECT_EQ(
+      FirstQuantBoundViolation(v, decoded, 16, q16.chunk(), /*steps=*/1.0),
+      -1);
+}
+
+TEST(UniformQuantTest, OneBitKeepsOnlySignAtFullScale) {
+  // b = 1 is signSGD-with-magnitude: every value snaps to ±scale.
+  UniformQuantCodec codec(1);
+  const std::vector<float> v = {0.9f, -0.9f, 0.6f, -0.6f};
+  const std::vector<float> decoded =
+      codec.Decode(codec.Encode(0, v, nullptr));
+  for (size_t i = 0; i < v.size(); ++i) {
+    EXPECT_FLOAT_EQ(std::fabs(decoded[i]), 0.9f) << i;
+    EXPECT_EQ(std::signbit(decoded[i]), std::signbit(v[i])) << i;
+  }
+}
+
+TEST(UniformQuantTest, EncodingIsDeterministic) {
+  Rng rng(17);
+  UniformQuantCodec codec(8);
+  const std::vector<float> v = RandomVector(513, &rng);
+  EXPECT_EQ(codec.Encode(0, v, nullptr).bytes,
+            codec.Encode(0, v, nullptr).bytes);
+}
+
+}  // namespace
+}  // namespace fedadmm

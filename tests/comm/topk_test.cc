@@ -1,0 +1,109 @@
+// Top-k sparsification properties: the k largest magnitudes survive bit-
+// exactly, everything else decodes to zero, the dropped mass is bounded by
+// the smallest kept magnitude, and ties break deterministically.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "comm/codec_test_util.h"
+#include "comm/topk.h"
+
+namespace fedadmm {
+namespace {
+
+using testing::RandomVector;
+
+TEST(TopKTest, PreservesTheKLargestMagnitudesExactly) {
+  Rng rng(29);
+  TopKCodec codec(0.1);
+  const std::vector<float> v = RandomVector(500, &rng);
+  const std::vector<float> decoded = codec.Decode(codec.Encode(0, v, nullptr));
+  ASSERT_EQ(decoded.size(), v.size());
+  const int64_t k = codec.KForDim(500);
+  EXPECT_EQ(k, 50);
+
+  // Reference selection: magnitudes sorted descending.
+  std::vector<float> magnitudes(v.size());
+  std::transform(v.begin(), v.end(), magnitudes.begin(),
+                 [](float x) { return std::fabs(x); });
+  std::sort(magnitudes.begin(), magnitudes.end(), std::greater<float>());
+  const float kth = magnitudes[static_cast<size_t>(k - 1)];
+
+  int64_t kept = 0;
+  float max_dropped = 0.0f;
+  float min_kept = std::numeric_limits<float>::infinity();
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (decoded[i] != 0.0f) {
+      // Every survivor is bit-exact and belongs to the top set.
+      EXPECT_EQ(decoded[i], v[i]) << i;
+      EXPECT_GE(std::fabs(v[i]), kth) << i;
+      min_kept = std::min(min_kept, std::fabs(v[i]));
+      ++kept;
+    } else {
+      max_dropped = std::max(max_dropped, std::fabs(v[i]));
+    }
+  }
+  // Zeros in v may also decode to zero, so count via the reference kth.
+  EXPECT_EQ(kept, k);
+  EXPECT_LE(max_dropped, min_kept);
+}
+
+TEST(TopKTest, FullFractionIsLosslessOnValues) {
+  Rng rng(31);
+  TopKCodec codec(1.0);
+  const std::vector<float> v = RandomVector(123, &rng);
+  EXPECT_EQ(codec.Decode(codec.Encode(0, v, nullptr)), v);
+}
+
+TEST(TopKTest, TiesBreakTowardLowerIndicesDeterministically) {
+  TopKCodec codec(0.5);  // k = 2 of 4
+  const std::vector<float> v = {1.0f, -1.0f, 1.0f, 1.0f};
+  const std::vector<float> decoded = codec.Decode(codec.Encode(0, v, nullptr));
+  EXPECT_EQ(decoded, (std::vector<float>{1.0f, -1.0f, 0.0f, 0.0f}));
+  // And twice in a row yields identical bytes.
+  EXPECT_EQ(codec.Encode(0, v, nullptr).bytes,
+            codec.Encode(0, v, nullptr).bytes);
+}
+
+TEST(TopKTest, NonEmptyVectorKeepsAtLeastOneCoordinate) {
+  TopKCodec codec(0.01);
+  const std::vector<float> v = {0.0f, 3.0f, 0.0f};  // 1% of 3 rounds up to 1
+  const std::vector<float> decoded = codec.Decode(codec.Encode(0, v, nullptr));
+  EXPECT_EQ(decoded, (std::vector<float>{0.0f, 3.0f, 0.0f}));
+}
+
+TEST(TopKTest, EmptyVectorRoundTrips) {
+  TopKCodec codec(0.1);
+  const std::vector<float> v;
+  const Payload payload = codec.Encode(0, v, nullptr);
+  EXPECT_EQ(payload.WireBytes(), 16);
+  EXPECT_TRUE(codec.Decode(payload).empty());
+}
+
+TEST(TopKTest, KForDimUsesCeil) {
+  TopKCodec codec(0.1);
+  EXPECT_EQ(codec.KForDim(0), 0);
+  EXPECT_EQ(codec.KForDim(1), 1);
+  EXPECT_EQ(codec.KForDim(10), 1);
+  EXPECT_EQ(codec.KForDim(11), 2);
+  EXPECT_EQ(codec.KForDim(100), 10);
+  EXPECT_EQ(codec.KForDim(101), 11);
+}
+
+TEST(TopKTest, SignsAndDenormalsSurviveExactly) {
+  TopKCodec codec(1.0);
+  const std::vector<float> v = {-1e-41f, 1e-41f, -0.0f, 5e37f};
+  const std::vector<float> decoded = codec.Decode(codec.Encode(0, v, nullptr));
+  ASSERT_EQ(decoded.size(), v.size());
+  EXPECT_EQ(decoded[0], -1e-41f);
+  EXPECT_EQ(decoded[1], 1e-41f);
+  EXPECT_EQ(decoded[3], 5e37f);
+}
+
+}  // namespace
+}  // namespace fedadmm

@@ -5,9 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
+#include "comm/identity.h"
 #include "core/fedadmm.h"
 #include "fl/quadratic_problem.h"
 #include "fl/selection.h"
@@ -72,6 +74,103 @@ TEST(DeterministicReplayTest, ThreadCountDoesNotChangeTrajectory) {
 
 TEST(DeterministicReplayTest, DifferentSeedsDiverge) {
   EXPECT_NE(RunTheta(7, 1, 5), RunTheta(8, 1, 5));
+}
+
+// --- Codec regression (src/comm): the no-codec path and the identity-codec
+// path must be bitwise indistinguishable — in θ AND in the recorded
+// History. Guards the codec plumbing in Simulation::Run against perturbing
+// RNG streams or byte accounting when compression is off.
+
+struct Replay {
+  History history;
+  std::vector<float> theta;
+};
+
+Replay RunReplay(uint64_t seed, int threads, int rounds,
+                 UpdateCodec* uplink, UpdateCodec* downlink) {
+  QuadraticProblem problem(Spec());
+  FedAdmm algo(Options());
+  UniformFractionSelector selector(12, 0.5);
+  SimulationConfig config;
+  config.max_rounds = rounds;
+  config.seed = seed;
+  config.num_threads = threads;
+  Simulation sim(&problem, &algo, &selector, config);
+  if (uplink) sim.set_uplink_codec(uplink);
+  if (downlink) sim.set_downlink_codec(downlink);
+  Replay replay;
+  replay.history = std::move(sim.Run()).ValueOrDie();
+  replay.theta = sim.theta();
+  return replay;
+}
+
+// NaN-aware bitwise equality for skipped-eval sentinels.
+bool SameMetric(double a, double b) {
+  return (std::isnan(a) && std::isnan(b)) || a == b;
+}
+
+void ExpectBitwiseIdentical(const Replay& a, const Replay& b) {
+  EXPECT_EQ(a.theta, b.theta);
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (int i = 0; i < a.history.size(); ++i) {
+    const RoundRecord& ra = a.history.records()[static_cast<size_t>(i)];
+    const RoundRecord& rb = b.history.records()[static_cast<size_t>(i)];
+    EXPECT_EQ(ra.round, rb.round);
+    EXPECT_EQ(ra.num_selected, rb.num_selected);
+    EXPECT_TRUE(SameMetric(ra.train_loss, rb.train_loss)) << i;
+    EXPECT_TRUE(SameMetric(ra.test_accuracy, rb.test_accuracy)) << i;
+    EXPECT_TRUE(SameMetric(ra.test_loss, rb.test_loss)) << i;
+    EXPECT_EQ(ra.upload_bytes, rb.upload_bytes) << i;
+    EXPECT_EQ(ra.download_bytes, rb.download_bytes) << i;
+    EXPECT_EQ(ra.upload_bytes_raw, rb.upload_bytes_raw) << i;
+    EXPECT_EQ(ra.download_bytes_raw, rb.download_bytes_raw) << i;
+    EXPECT_EQ(ra.sim_seconds, rb.sim_seconds) << i;
+    EXPECT_EQ(ra.num_dropped, rb.num_dropped) << i;
+    EXPECT_EQ(ra.num_admitted_partial, rb.num_admitted_partial) << i;
+  }
+}
+
+TEST(DeterministicReplayTest, IdentityUplinkCodecIsBitwiseInvisible) {
+  IdentityCodec identity;
+  ExpectBitwiseIdentical(RunReplay(7, 3, 8, nullptr, nullptr),
+                         RunReplay(7, 3, 8, &identity, nullptr));
+}
+
+TEST(DeterministicReplayTest, IdentityCodecPairIsBitwiseInvisible) {
+  IdentityCodec uplink;
+  IdentityCodec downlink;
+  ExpectBitwiseIdentical(RunReplay(7, 3, 8, nullptr, nullptr),
+                         RunReplay(7, 3, 8, &uplink, &downlink));
+}
+
+TEST(DeterministicReplayTest, LossyCodecChangesThetaButNotAccounting) {
+  // Sanity inversion: a real compressor must NOT be invisible — θ moves —
+  // while the raw-bytes columns still mirror the uncompressed run.
+  IdentityCodec identity;
+  const Replay exact = RunReplay(7, 3, 8, &identity, nullptr);
+  Replay lossy;
+  {
+    QuadraticProblem problem(Spec());
+    FedAdmm algo(Options());
+    UniformFractionSelector selector(12, 0.5);
+    SimulationConfig config;
+    config.max_rounds = 8;
+    config.seed = 7;
+    config.num_threads = 3;
+    Simulation sim(&problem, &algo, &selector, config);
+    auto codec = MakeUpdateCodec("q8");
+    ASSERT_TRUE(codec.ok());
+    sim.set_uplink_codec(codec->get());
+    lossy.history = std::move(sim.Run()).ValueOrDie();
+    lossy.theta = sim.theta();
+  }
+  EXPECT_NE(exact.theta, lossy.theta);
+  ASSERT_EQ(exact.history.size(), lossy.history.size());
+  for (int i = 0; i < exact.history.size(); ++i) {
+    EXPECT_EQ(
+        exact.history.records()[static_cast<size_t>(i)].upload_bytes_raw,
+        lossy.history.records()[static_cast<size_t>(i)].upload_bytes_raw);
+  }
 }
 
 }  // namespace

@@ -1,9 +1,14 @@
 /// Communication accounting across algorithms — the paper's Section III-B
 /// claim: FedADMM's per-round communication equals FedAvg/FedProx's, while
-/// SCAFFOLD doubles it.
+/// SCAFFOLD doubles it. Byte expectations are derived from the wire codec
+/// (src/comm) rather than hard-coded 4·dim products, so the same tests hold
+/// whether or not compression is attached; the identity codec's
+/// WireBytes(d) == 4d is itself pinned by tests/comm/wire_format_test.cc.
 
 #include <gtest/gtest.h>
 
+#include "comm/identity.h"
+#include "comm/quantize.h"
 #include "fl/algorithms/fedavg.h"
 #include "fl/algorithms/fedprox.h"
 #include "fl/algorithms/scaffold.h"
@@ -21,7 +26,8 @@ class CommAccountingTest : public ::testing::Test {
  protected:
   void SetUp() override {
     bed_ = MakeTestBed(10, true);
-    dim_bytes_ = bed_.problem->dim() * static_cast<int64_t>(sizeof(float));
+    // The uncompressed wire: one model-sized fp32 vector per direction.
+    dim_bytes_ = IdentityCodec().WireBytes(bed_.problem->dim());
   }
   testing::TestBed bed_;
   int64_t dim_bytes_ = 0;
@@ -36,12 +42,15 @@ TEST_F(CommAccountingTest, FedAdmmMatchesFedAvgExactly) {
   EXPECT_EQ(h_admm.TotalDownloadBytes(), h_avg.TotalDownloadBytes());
 }
 
-TEST_F(CommAccountingTest, PerRoundBytesAreSelectedTimesDim) {
+TEST_F(CommAccountingTest, PerRoundBytesAreSelectedTimesWire) {
   FedAdmm admm(TestAdmmOptions());
   const History history = RunOnBed(&bed_, &admm, 0.3, 4);
   for (const RoundRecord& r : history.records()) {
     EXPECT_EQ(r.upload_bytes, r.num_selected * dim_bytes_);
     EXPECT_EQ(r.download_bytes, r.num_selected * dim_bytes_);
+    // No codec attached: wire and raw columns coincide.
+    EXPECT_EQ(r.upload_bytes_raw, r.upload_bytes);
+    EXPECT_EQ(r.download_bytes_raw, r.download_bytes);
   }
 }
 
@@ -67,6 +76,28 @@ TEST_F(CommAccountingTest, CommunicationScalesWithFraction) {
   const History h_small = RunOnBed(&bed_, &a1, 0.1, 4);
   const History h_large = RunOnBed(&bed_, &a2, 0.5, 4);
   EXPECT_EQ(h_small.TotalUploadBytes() * 5, h_large.TotalUploadBytes());
+}
+
+TEST_F(CommAccountingTest, UplinkOnlyCompressionMakesTrafficAsymmetric) {
+  // Compressing only the uplink (the deployment default: the broadcast is
+  // cheap, client uploads are metered) must shrink upload_bytes to the
+  // codec's wire size while download stays at raw fp32 — and the raw
+  // columns must keep reporting the uncompressed equivalent.
+  FedAdmm admm(TestAdmmOptions());
+  UniformQuantCodec q8(8);
+  const History history =
+      RunOnBed(&bed_, &admm, 0.3, 4, 7, -1.0, &q8, nullptr);
+  const int64_t wire = q8.WireBytes(bed_.problem->dim());
+  ASSERT_LT(wire, dim_bytes_);
+  for (const RoundRecord& r : history.records()) {
+    EXPECT_EQ(r.upload_bytes, r.num_selected * wire);
+    EXPECT_EQ(r.download_bytes, r.num_selected * dim_bytes_);
+    EXPECT_LT(r.upload_bytes, r.download_bytes);
+    EXPECT_EQ(r.upload_bytes_raw, r.num_selected * dim_bytes_);
+    EXPECT_EQ(r.download_bytes_raw, r.num_selected * dim_bytes_);
+  }
+  EXPECT_LT(history.TotalUploadBytes(), history.TotalDownloadBytes());
+  EXPECT_EQ(history.TotalUploadBytesRaw(), history.TotalDownloadBytesRaw());
 }
 
 }  // namespace

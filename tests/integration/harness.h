@@ -7,6 +7,7 @@
 
 #include <memory>
 
+#include "comm/codec.h"
 #include "core/fedadmm.h"
 #include "data/partition.h"
 #include "data/synthetic.h"
@@ -63,10 +64,13 @@ inline TestBed MakeTestBed(int clients, bool iid, uint64_t seed = 5,
   return bed;
 }
 
-/// Runs an algorithm on the test bed; returns the history.
+/// Runs an algorithm on the test bed; returns the history. Optional
+/// uplink/downlink codecs (src/comm) are attached when non-null.
 inline History RunOnBed(TestBed* bed, FederatedAlgorithm* algo,
                         double fraction, int rounds, uint64_t seed = 7,
-                        double target_accuracy = -1.0) {
+                        double target_accuracy = -1.0,
+                        UpdateCodec* uplink = nullptr,
+                        UpdateCodec* downlink = nullptr) {
   UniformFractionSelector selector(bed->problem->num_clients(), fraction);
   SimulationConfig config;
   config.max_rounds = rounds;
@@ -74,6 +78,8 @@ inline History RunOnBed(TestBed* bed, FederatedAlgorithm* algo,
   config.target_accuracy = target_accuracy;
   config.num_threads = 4;
   Simulation sim(bed->problem.get(), algo, &selector, config);
+  if (uplink) sim.set_uplink_codec(uplink);
+  if (downlink) sim.set_downlink_codec(downlink);
   return std::move(sim.Run()).ValueOrDie();
 }
 
