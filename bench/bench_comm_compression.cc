@@ -12,10 +12,10 @@
 /// for its accuracy head start — visible in the wire-MB column.
 ///
 /// Output: summary table on stdout and a deterministic per-round CSV
-/// (FEDADMM_BENCH_CSV, default "bench_comm_compression.csv") with columns
-/// preset,codec,algorithm,round,sim_seconds,upload_bytes,upload_bytes_raw,
-/// test_accuracy. Double runs diff clean: nothing host-dependent is
-/// written.
+/// (FEDADMM_BENCH_CSV, default "bench_comm_compression.csv") with context
+/// columns preset,codec,algorithm followed by the canonical
+/// fl/history_csv round columns (wall_seconds forced to 0). Double runs
+/// diff clean: nothing host-dependent is written.
 ///
 /// Knobs: FEDADMM_BENCH_ROUNDS, FEDADMM_BENCH_SCALE, FEDADMM_BENCH_CSV,
 /// FEDADMM_BENCH_CODECS (default "identity,fp16,q8,sq4,topk10,ef:topk10").
@@ -27,8 +27,8 @@
 
 #include "bench/bench_common.h"
 #include "comm/codec.h"
+#include "fl/history_csv.h"
 #include "sys/system_model.h"
-#include "util/csv.h"
 
 namespace {
 
@@ -70,12 +70,11 @@ int main() {
   const std::vector<std::string> codecs = ParseCodecList(GetEnvString(
       "FEDADMM_BENCH_CODECS", "identity,fp16,q8,sq4,topk10,ef:topk10"));
 
-  CsvWriter csv;
+  HistoryCsvWriter csv;
   const std::string csv_path =
       GetEnvString("FEDADMM_BENCH_CSV", "bench_comm_compression.csv");
-  if (!csv.Open(csv_path).ok() ||
-      !csv.WriteRow({"preset", "codec", "algorithm", "round", "sim_seconds",
-                     "upload_bytes", "upload_bytes_raw", "test_accuracy"})
+  if (!csv.Open(csv_path, {"preset", "codec", "algorithm"},
+                /*deterministic_only=*/true)
            .ok()) {
     std::fprintf(stderr, "cannot write %s\n", csv_path.c_str());
     return 1;
@@ -104,18 +103,9 @@ int main() {
         const History h = RunWithCodec(&scenario, algo.get(), &model,
                                        codec.get(), rounds, run_seed);
 
-        for (const RoundRecord& r : h.records()) {
-          char acc[32], sim[32];
-          std::snprintf(acc, sizeof(acc), "%.6g", r.test_accuracy);
-          std::snprintf(sim, sizeof(sim), "%.6g", r.sim_seconds);
-          if (!csv.WriteRow({preset, codec_spec, algo_name,
-                             std::to_string(r.round), sim,
-                             std::to_string(r.upload_bytes),
-                             std::to_string(r.upload_bytes_raw), acc})
-                   .ok()) {
-            std::fprintf(stderr, "CSV write failed\n");
-            return 1;
-          }
+        if (!csv.AppendHistory({preset, codec_spec, algo_name}, h).ok()) {
+          std::fprintf(stderr, "CSV write failed\n");
+          return 1;
         }
 
         const double wire_mb =

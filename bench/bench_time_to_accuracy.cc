@@ -1,34 +1,42 @@
 /// \file bench_time_to_accuracy.cc
 /// \brief Time-to-accuracy under system heterogeneity (src/sys engine),
-/// with optional uplink compression (src/comm).
+/// with optional uplink compression (src/comm) and an execution-mode axis
+/// (fl/server_loop engine: sync / buffered / async).
 ///
 /// The paper reports rounds-to-accuracy, but rounds are free only in a
 /// simulator: a deployed round costs the critical path of its slowest
 /// admitted client. This bench replays the Section V-A comparison on the
-/// virtual clock: FedADMM / FedAvg / FedProx / SCAFFOLD across fleet
-/// presets, straggler policies and uplink codecs, reporting simulated
-/// seconds (and client drops) next to rounds. FedADMM tolerates variable
-/// local work, so under deadline policies its stragglers contribute partial
-/// rounds where the fixed-epoch baselines' late full-epoch updates are
-/// discarded; compressed uplinks shrink every client's transfer leg, which
-/// matters most on the metered `cellular` preset.
+/// virtual clock, in two parts:
+///
+///   1. **Straggler policies × codecs** (sync): FedADMM / FedAvg / FedProx
+///      / SCAFFOLD across fleet presets, deadline policies and uplink
+///      codecs. FedADMM tolerates variable local work, so under deadline
+///      policies its stragglers contribute partial rounds where the
+///      fixed-epoch baselines' late full-epoch updates are discarded.
+///   2. **Execution modes** (wait-for-all admission): the same fleet run
+///      sync (server waits for the whole wave), buffered (aggregate every
+///      K arrivals) and async (aggregate each arrival). Budgets are
+///      normalized to the same total client-update count, so any
+///      sim-seconds gap is pure scheduling: the event-driven modes never
+///      wait for the slowest client. FedADMM runs with η = |S_t|/m (the
+///      analyzed choice; mandatory for small aggregation batches).
 ///
 /// The round deadline is derived from *uncompressed* payloads for every
 /// codec, so codec rows compare on an identical deadline and any
 /// sim-seconds gap is the compression effect itself.
 ///
 /// Output: a summary table on stdout and a deterministic per-round CSV
-/// (FEDADMM_BENCH_CSV, default "bench_time_to_accuracy.csv") with columns
-/// preset,policy,codec,algorithm,round,num_selected,num_dropped,
-/// num_admitted_partial,sim_seconds,upload_bytes,upload_bytes_raw,
-/// train_loss,test_accuracy. Identical seeds produce identical CSVs —
-/// nothing host-clock-dependent is written.
+/// (FEDADMM_BENCH_CSV, default "bench_time_to_accuracy.csv") with context
+/// columns preset,policy,codec,mode,algorithm followed by the canonical
+/// fl/history_csv round columns (wall_seconds forced to 0 — identical
+/// seeds produce identical files).
 ///
 /// Knobs: FEDADMM_BENCH_ROUNDS, FEDADMM_BENCH_SCALE, FEDADMM_BENCH_CSV,
 /// FEDADMM_BENCH_DEADLINE_PCTL (percentile of full-work client time used as
 /// the round deadline, default 60), FEDADMM_BENCH_CODECS (comma-separated
-/// uplink codec specs, default "identity,q8,topk10"; see
-/// comm/codec.h for the spec grammar).
+/// uplink codec specs, default "identity,q8,topk10"; see comm/codec.h),
+/// FEDADMM_BENCH_MODES (default "sync,buffered,async"),
+/// FEDADMM_BENCH_STALENESS ("constant" or "poly:<a>", default "constant").
 
 #include <algorithm>
 #include <cmath>
@@ -39,8 +47,8 @@
 
 #include "bench/bench_common.h"
 #include "comm/codec.h"
+#include "fl/history_csv.h"
 #include "sys/system_model.h"
-#include "util/csv.h"
 
 namespace {
 
@@ -81,17 +89,38 @@ double FleetDeadline(const FleetModel& fleet, int steps_full,
 
 History RunWithSystem(Scenario* scenario, FederatedAlgorithm* algo,
                       const SystemModel* model, UpdateCodec* uplink,
-                      int rounds, uint64_t seed) {
+                      int rounds, uint64_t seed,
+                      ExecutionMode mode = ExecutionMode::kSync,
+                      int eval_every = 1, StalenessWeightFn staleness = {},
+                      int buffer_size = 0) {
   UniformFractionSelector base(scenario->problem->num_clients(), 0.3);
   AvailabilityFilterSelector selector(&base, &model->fleet());
   SimulationConfig config;
   config.max_rounds = rounds;
   config.seed = seed;
   config.num_threads = 8;
+  config.mode = mode;
+  config.eval_every = eval_every;
+  config.staleness_weight = std::move(staleness);
+  config.buffer_size = buffer_size;
   Simulation sim(scenario->problem.get(), algo, &selector, config);
   sim.set_system_model(model);
   if (uplink) sim.set_uplink_codec(uplink);
   return std::move(sim.Run()).ValueOrDie();
+}
+
+void PrintRow(const char* preset, const std::string& policy,
+              const std::string& codec, const std::string& mode,
+              const std::string& algo, const History& h, int budget) {
+  std::printf("%-18s %-22s %-9s %-9s %-9s %7s %9s %8.2f %6d %6.2f %8.3f\n",
+              preset, policy.c_str(), codec.c_str(), mode.c_str(),
+              algo.c_str(),
+              FormatRounds(h.RoundsToAccuracy(kTargetAccuracy), budget)
+                  .c_str(),
+              FormatSeconds(h.SimSecondsToAccuracy(kTargetAccuracy)).c_str(),
+              h.TotalSimSeconds(), h.TotalDropped(),
+              static_cast<double>(h.TotalUploadBytes()) / 1.0e6,
+              h.FinalAccuracy());
 }
 
 }  // namespace
@@ -114,23 +143,26 @@ int main() {
                                              "deadline-admit-partial"};
   const std::vector<std::string> codecs = ParseCodecList(
       GetEnvString("FEDADMM_BENCH_CODECS", "identity,q8,topk10"));
+  const std::vector<std::string> modes = ParseCodecList(
+      GetEnvString("FEDADMM_BENCH_MODES", "sync,buffered,async"));
+  const StalenessWeightFn staleness =
+      MakeStalenessWeight(
+          GetEnvString("FEDADMM_BENCH_STALENESS", "constant"))
+          .ValueOrDie();
 
-  CsvWriter csv;
+  HistoryCsvWriter csv;
   const std::string csv_path =
       GetEnvString("FEDADMM_BENCH_CSV", "bench_time_to_accuracy.csv");
-  if (!csv.Open(csv_path).ok() ||
-      !csv.WriteRow({"preset", "policy", "codec", "algorithm", "round",
-                     "num_selected", "num_dropped", "num_admitted_partial",
-                     "sim_seconds", "upload_bytes", "upload_bytes_raw",
-                     "train_loss", "test_accuracy"})
+  if (!csv.Open(csv_path, {"preset", "policy", "codec", "mode", "algorithm"},
+                /*deterministic_only=*/true)
            .ok()) {
     std::fprintf(stderr, "cannot write %s\n", csv_path.c_str());
     return 1;
   }
 
-  std::printf("%-18s %-22s %-9s %-9s %7s %9s %8s %6s %6s %8s\n", "fleet",
-              "policy", "codec", "algo", "rounds", "sim-sec", "tot-sec",
-              "drops", "upMB", "finalacc");
+  std::printf("%-18s %-22s %-9s %-9s %-9s %7s %9s %8s %6s %6s %8s\n",
+              "fleet", "policy", "codec", "mode", "algo", "rounds",
+              "sim-sec", "tot-sec", "drops", "upMB", "finalacc");
 
   // One shared scenario: the dataset/model/partition never vary across
   // presets, policies or codecs (runs only read it), so synthesize it once.
@@ -138,6 +170,7 @@ int main() {
                                    /*iid=*/false, /*seed=*/1,
                                    /*samples_per_client=*/12);
 
+  // --- Part 1: straggler policies x codecs (sync execution). -------------
   for (const std::string& preset : presets) {
     const FleetModel fleet =
         FleetModel::FromPreset(preset, scenario.clients, fleet_seed)
@@ -173,41 +206,90 @@ int main() {
 
         for (const RunResult& result : results) {
           const History& h = result.history;
-          for (const RoundRecord& r : h.records()) {
-            char loss[32], acc[32], sim[32];
-            std::snprintf(loss, sizeof(loss), "%.6g", r.train_loss);
-            std::snprintf(acc, sizeof(acc), "%.6g", r.test_accuracy);
-            std::snprintf(sim, sizeof(sim), "%.6g", r.sim_seconds);
-            if (!csv.WriteRow({preset, policy_name, codec_spec,
-                               result.algorithm, std::to_string(r.round),
-                               std::to_string(r.num_selected),
-                               std::to_string(r.num_dropped),
-                               std::to_string(r.num_admitted_partial), sim,
-                               std::to_string(r.upload_bytes),
-                               std::to_string(r.upload_bytes_raw), loss,
-                               acc})
-                     .ok()) {
-              std::fprintf(stderr, "CSV write failed\n");
-              return 1;
-            }
+          if (!csv.AppendHistory({preset, policy_name, codec_spec, "sync",
+                                  result.algorithm},
+                                 h)
+                   .ok()) {
+            std::fprintf(stderr, "CSV write failed\n");
+            return 1;
           }
-          std::printf(
-              "%-18s %-22s %-9s %-9s %7s %9s %8.2f %6d %6.2f %8.3f\n",
-              preset.c_str(), policy_name.c_str(), codec_spec.c_str(),
-              result.algorithm.c_str(),
-              FormatRounds(h.RoundsToAccuracy(kTargetAccuracy), rounds)
-                  .c_str(),
-              FormatSeconds(h.SimSecondsToAccuracy(kTargetAccuracy))
-                  .c_str(),
-              h.TotalSimSeconds(), h.TotalDropped(),
-              static_cast<double>(h.TotalUploadBytes()) / 1.0e6,
-              h.FinalAccuracy());
+          PrintRow(preset.c_str(), policy_name, codec_spec, "sync",
+                   result.algorithm, h, rounds);
         }
       }
       std::printf("  (deadline %.2fs from raw payloads, fleet '%s', "
                   "policy '%s')\n",
                   deadline, preset.c_str(), policy_name.c_str());
     }
+  }
+
+  // --- Part 2: execution modes (wait-for-all admission, no codec). -------
+  // Budgets are normalized to the same total client-update count: one sync
+  // round aggregates a full wave, one buffered record K arrivals, one
+  // async record a single arrival. Eval cadence scales the same way so the
+  // accuracy curves have comparable resolution.
+  PrintHeader("Execution modes: sync wait-for-all vs buffered/async");
+  std::printf("%-18s %-22s %-9s %-9s %-9s %7s %9s %8s %6s %6s %8s\n",
+              "fleet", "policy", "codec", "mode", "algo", "rounds",
+              "sim-sec", "tot-sec", "drops", "upMB", "finalacc");
+
+  // Part 2 runs longer than part 1: FedADMM under η = |S_t|/m takes ~20
+  // sync waves to cross the target, and the whole point is comparing
+  // *crossing times* across modes.
+  const int mode_budget = RoundBudget(30, 60);
+  UniformFractionSelector sizing(scenario.clients, 0.3);
+  const int wave = sizing.clients_per_round();
+  const int buffer_k = std::max(1, wave / 2);
+  const int total_updates = mode_budget * wave;
+
+  for (const char* preset : {"cellular", "cross-device-churn"}) {
+    const FleetModel fleet =
+        FleetModel::FromPreset(preset, scenario.clients, fleet_seed)
+            .ValueOrDie();
+    const SystemModel model(
+        fleet, MakeStragglerPolicy("wait-for-all", -1.0).ValueOrDie());
+
+    for (const std::string& mode_name : modes) {
+      const ExecutionMode mode = ParseExecutionMode(mode_name).ValueOrDie();
+      int mode_rounds = mode_budget;
+      int eval_every = 1;
+      if (mode == ExecutionMode::kBuffered) {
+        mode_rounds = (total_updates + buffer_k - 1) / buffer_k;
+        eval_every = std::max(1, (wave + buffer_k - 1) / buffer_k);
+      } else if (mode == ExecutionMode::kAsync) {
+        mode_rounds = total_updates;
+        eval_every = wave;
+      }
+
+      for (const char* algo_name : {"FedADMM", "FedAvg"}) {
+        std::unique_ptr<FederatedAlgorithm> algo;
+        if (std::string(algo_name) == "FedADMM") {
+          FedAdmmOptions options = BenchAdmmOptions();
+          options.eta_active_fraction = true;  // η = |S_t|/m, see header
+          algo = std::make_unique<FedAdmm>(options);
+        } else {
+          algo = MakeBenchAlgorithm(algo_name);
+        }
+        const History h = RunWithSystem(
+            &scenario, algo.get(), &model, /*uplink=*/nullptr, mode_rounds,
+            run_seed, mode, eval_every,
+            mode == ExecutionMode::kSync ? StalenessWeightFn{} : staleness,
+            mode == ExecutionMode::kBuffered ? buffer_k : 0);
+        if (!csv.AppendHistory(
+                   {preset, "wait-for-all", "identity", mode_name, algo_name},
+                   h)
+                 .ok()) {
+          std::fprintf(stderr, "CSV write failed\n");
+          return 1;
+        }
+        PrintRow(preset, "wait-for-all", "identity", mode_name, algo_name, h,
+                 mode_rounds);
+      }
+    }
+    std::printf("  (fleet '%s': %d-client waves, buffered K=%d, budgets "
+                "normalized to %d client updates; availability churn can "
+                "shrink a wave below the nominal K)\n",
+                preset, wave, buffer_k, total_updates);
   }
 
   if (!csv.Close().ok()) {

@@ -27,6 +27,7 @@
 #include "data/partition.h"
 #include "data/synthetic.h"
 #include "fl/algorithms/fedavg.h"
+#include "fl/history_csv.h"
 #include "fl/nn_problem.h"
 #include "fl/selection.h"
 #include "fl/simulation.h"
@@ -160,5 +161,68 @@ int main(int argc, char** argv) {
       "partial updates; FedAvg's late full-epoch updates shrink toward the\n"
       "deadline fraction. Upload per admitted client is the model size for\n"
       "both (SCAFFOLD would pay double).\n");
+
+  // --- Execution modes: the same fleet without the lockstep barrier. ----
+  // Sync waits for the slowest client of every wave; buffered aggregates
+  // every K arrivals; async aggregates each arrival the moment it lands.
+  // Budgets are normalized to the same total client-update count, and the
+  // per-round trajectories go to one CSV through the shared
+  // fl/history_csv writer (context column: mode).
+  std::printf("\n== Execution modes (wait-for-all admission, FedADMM) ==\n");
+  const SystemModel lenient(
+      FleetModel::FromPreset("cross-device-churn", clients, 7).ValueOrDie(),
+      MakeStragglerPolicy("wait-for-all", -1.0).ValueOrDie());
+  const int wave = clients / 2;         // the selector draws C = 0.5
+  const int buffer_k = wave / 2;
+  HistoryCsvWriter modes_csv;
+  const std::string modes_path = "system_heterogeneity_modes.csv";
+  const bool csv_ok = modes_csv.Open(modes_path, {"mode"}).ok();
+  std::printf("%-10s %10s %18s %12s\n", "mode", "records",
+              "sim-sec-to-0.60", "best-acc");
+  for (const ExecutionMode mode :
+       {ExecutionMode::kSync, ExecutionMode::kBuffered,
+        ExecutionMode::kAsync}) {
+    FedAdmmOptions mode_options = options;
+    mode_options.eta_active_fraction = true;  // η = |S_t|/m — see fedadmm.h
+    FedAdmm algo(mode_options);
+    UniformFractionSelector selector(clients, 0.5);
+    SimulationConfig config;
+    config.seed = 23;
+    config.mode = mode;
+    config.buffer_size = buffer_k;
+    config.max_rounds = mode == ExecutionMode::kSync ? rounds
+                        : mode == ExecutionMode::kBuffered
+                            ? rounds * ((wave + buffer_k - 1) / buffer_k)
+                            : rounds * wave;
+    config.eval_every = mode == ExecutionMode::kSync ? 1
+                        : mode == ExecutionMode::kBuffered
+                            ? (wave + buffer_k - 1) / buffer_k
+                            : wave;
+    Simulation sim(&problem, &algo, &selector, config);
+    sim.set_system_model(&lenient);
+    const History h = std::move(sim.Run()).ValueOrDie();
+    if (csv_ok) {
+      (void)modes_csv.AppendHistory({ExecutionModeName(mode)}, h);
+    }
+    const double t = h.SimSecondsToAccuracy(0.6);
+    char secs[32];
+    if (t < 0.0) {
+      std::snprintf(secs, sizeof(secs), "%s", "--");
+    } else {
+      std::snprintf(secs, sizeof(secs), "%.1fs", t);
+    }
+    std::printf("%-10s %10d %18s %12.3f\n",
+                ExecutionModeName(mode).c_str(), h.size(), secs,
+                h.BestAccuracy());
+  }
+  if (csv_ok && modes_csv.Close().ok()) {
+    std::printf("per-round mode trajectories written to %s\n",
+                modes_path.c_str());
+  }
+  std::printf(
+      "\nThe event-driven modes keep the virtual clock running on arrivals\n"
+      "instead of wave barriers: fast devices contribute many updates while\n"
+      "a straggler finishes one, which is where the sim-seconds-to-target\n"
+      "gap comes from.\n");
   return 0;
 }

@@ -54,7 +54,10 @@ struct FedAdmmOptions {
   StepSchedule eta = StepSchedule(1.0);
 
   /// When true, η = |S_t|/m each round (the theoretically analyzed choice;
-  /// empirically damps oscillations under heavy heterogeneity).
+  /// empirically damps oscillations under heavy heterogeneity). Strongly
+  /// recommended under the async/buffered execution modes: their
+  /// aggregation batches are 1 or K ≪ m updates, and a fixed η = 1 then
+  /// overshoots the tracking update by m/|S_t|.
   bool eta_active_fraction = false;
 
   /// Local training initialization (Fig. 8): warm start from the stored
@@ -80,6 +83,13 @@ class FedAdmm : public FederatedAlgorithm {
                              std::span<const float> theta,
                              LocalProblem* problem, Rng rng) override;
   void ServerUpdate(const std::vector<UpdateMessage>& updates, int round,
+                    std::vector<float>* theta) override;
+  /// Asynchronous arrival: the tracking update (Eq. 5) with S_t = {i},
+  /// θ ← θ + η Δ_i. The dual ascent already happened client-side in
+  /// `ClientUpdate`, so applying Δ_i alone keeps θ tracking the mean
+  /// augmented model per-client — FedADMM needs no batch barrier. Under
+  /// `eta_active_fraction` the active fraction of a single arrival is 1/m.
+  void AggregateOne(UpdateMessage msg, int round, int staleness,
                     std::vector<float>* theta) override;
 
   /// ρ in effect at `round`.

@@ -48,6 +48,24 @@ class FederatedAlgorithm {
   virtual void ServerUpdate(const std::vector<UpdateMessage>& updates,
                             int round, std::vector<float>* theta) = 0;
 
+  /// Applies a single update as it arrives — the asynchronous execution
+  /// mode's aggregation hook (fl/server_loop.h). `staleness` is the number
+  /// of server aggregations that happened between the update's dispatch and
+  /// its arrival (0 = fresh); the engine has already scaled the payload by
+  /// the configured staleness weight, so implementations only consult
+  /// `staleness` when they want to adapt beyond that. The default wraps the
+  /// message into a one-element batch and calls `ServerUpdate`, which
+  /// preserves every batch method's semantics at |S_t| = 1 (FedAvg /
+  /// FedProx / SCAFFOLD average over the batch, so a singleton batch is the
+  /// plain per-update step).
+  virtual void AggregateOne(UpdateMessage msg, int round, int staleness,
+                            std::vector<float>* theta) {
+    (void)staleness;
+    std::vector<UpdateMessage> batch(1);
+    batch[0] = std::move(msg);
+    ServerUpdate(batch, round, theta);
+  }
+
   /// Bytes each selected client downloads per round (θ, plus any extra
   /// server state the method broadcasts — SCAFFOLD's control variate).
   virtual int64_t DownloadBytesPerClient() const {

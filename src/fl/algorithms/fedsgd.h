@@ -11,7 +11,9 @@ namespace fedadmm {
 /// \brief The communication-per-step extreme of federated optimization:
 /// each selected client uploads its exact local gradient at θ and the
 /// server takes a single SGD step with the averaged gradient. Equivalent to
-/// FedAvg with E = 1 and B = ∞ plus a server learning rate.
+/// FedAvg with E = 1 and B = ∞ plus a server learning rate. Under the
+/// async execution mode the inherited `AggregateOne` default turns this
+/// into plain incremental SGD: one gradient step per arriving client.
 class FedSgd : public FederatedAlgorithm {
  public:
   /// `learning_rate` is the server step applied to the averaged gradient.

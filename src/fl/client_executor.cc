@@ -1,0 +1,45 @@
+#include "fl/client_executor.h"
+
+#include <algorithm>
+
+namespace fedadmm {
+namespace {
+
+constexpr uint64_t kClientTag = 0xC11E47;
+
+// Pool sizing: no point in more threads than the problem has worker slots.
+int ClampThreads(int requested, int num_workers) {
+  int threads = requested;
+  if (threads <= 0) threads = ThreadPool::DefaultNumThreads();
+  threads = std::min(threads, num_workers);
+  return std::max(threads, 1);
+}
+
+}  // namespace
+
+ClientExecutor::ClientExecutor(FederatedProblem* problem,
+                               FederatedAlgorithm* algorithm,
+                               const Rng& master, int num_threads)
+    : problem_(problem),
+      algorithm_(algorithm),
+      master_(master),
+      pool_(ClampThreads(num_threads, problem->num_workers())) {}
+
+void ClientExecutor::RunWave(int wave, const std::vector<int>& clients,
+                             const std::vector<float>& theta,
+                             std::vector<UpdateMessage>* out) {
+  out->assign(clients.size(), UpdateMessage());
+  pool_.ParallelFor(
+      static_cast<int>(clients.size()), [&](int idx, int worker) {
+        const int client = clients[static_cast<size_t>(idx)];
+        auto local = problem_->MakeLocalProblem(client, worker);
+        // Per-(wave, client) stream: results do not depend on thread
+        // scheduling.
+        Rng client_rng = master_.Fork(kClientTag, static_cast<uint64_t>(wave),
+                                      static_cast<uint64_t>(client));
+        (*out)[static_cast<size_t>(idx)] = algorithm_->ClientUpdate(
+            client, wave, theta, local.get(), client_rng);
+      });
+}
+
+}  // namespace fedadmm

@@ -1,0 +1,77 @@
+/// \file history_csv.h
+/// \brief The canonical per-round CSV schema, shared by History::WriteCsv,
+/// the benches and the examples.
+///
+/// Every consumer used to hand-roll its own header/row writing; by the
+/// time the schema grew to 15 columns the copies had started to drift.
+/// This file owns the one column list and the one formatter:
+///
+///   * `RoundCsvColumns()` / `RoundCsvRow()` — the canonical RoundRecord
+///     serialization (doubles at max_digits10, so files round-trip
+///     bitwise);
+///   * `HistoryCsvWriter` — streams rows prefixed by fixed *context*
+///     columns (preset, policy, codec, ... — whatever axes a bench sweeps);
+///   * `ReadHistoryCsv` — parses a file written with no context columns
+///     back into a `History` (the round-trip used by tests and by offline
+///     analysis scripts).
+
+#ifndef FEDADMM_FL_HISTORY_CSV_H_
+#define FEDADMM_FL_HISTORY_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "fl/types.h"
+#include "util/csv.h"
+#include "util/status.h"
+
+namespace fedadmm {
+
+/// \brief The canonical per-round column names, in serialization order.
+const std::vector<std::string>& RoundCsvColumns();
+
+/// \brief Formats one record as fields parallel to `RoundCsvColumns()`.
+/// Integers print exactly; doubles print at max_digits10 (bitwise
+/// round-trippable, NaN prints as "nan").
+std::vector<std::string> RoundCsvRow(const RoundRecord& record);
+
+/// \brief Parses fields produced by `RoundCsvRow` back into a record.
+/// Returns InvalidArgument on a field-count mismatch or unparsable number.
+Result<RoundRecord> RoundFromCsvRow(const std::vector<std::string>& fields);
+
+/// \brief Streams per-round rows, each prefixed by fixed context columns.
+class HistoryCsvWriter {
+ public:
+  /// Opens `path` and writes the header: `context_columns` followed by
+  /// `RoundCsvColumns()`. An empty context list yields the plain
+  /// History::WriteCsv schema. With `deterministic_only` the host-dependent
+  /// `wall_seconds` column is written as 0, so identical seeds produce
+  /// byte-identical files — the benches' double-run diff depends on it.
+  Status Open(const std::string& path,
+              std::vector<std::string> context_columns = {},
+              bool deterministic_only = false);
+
+  /// Writes one row. `context` must match the opened context column count.
+  Status Append(const std::vector<std::string>& context,
+                const RoundRecord& record);
+
+  /// `Append` for every record of `history`.
+  Status AppendHistory(const std::vector<std::string>& context,
+                       const History& history);
+
+  /// Flushes and closes the file.
+  Status Close();
+
+ private:
+  CsvWriter writer_;
+  size_t num_context_columns_ = 0;
+  bool deterministic_only_ = false;
+};
+
+/// \brief Reads a CSV written with no context columns (History::WriteCsv)
+/// back into a History. The header must match `RoundCsvColumns()` exactly.
+Result<History> ReadHistoryCsv(const std::string& path);
+
+}  // namespace fedadmm
+
+#endif  // FEDADMM_FL_HISTORY_CSV_H_

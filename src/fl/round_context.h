@@ -1,0 +1,56 @@
+/// \file round_context.h
+/// \brief Per-round working state shared by the engine's stages.
+///
+/// One `RoundContext` is built per aggregation round (sync) or dispatch
+/// wave (buffered / async): the selector's draw, the downlink plan produced
+/// by `CommPipeline`, and the in-flight update messages. Splitting this out
+/// of the old `Simulation::Run()` monolith lets the stages — selection,
+/// downlink, client execution, admission, uplink, aggregation — compose
+/// without sharing a 200-line function body.
+
+#ifndef FEDADMM_FL_ROUND_CONTEXT_H_
+#define FEDADMM_FL_ROUND_CONTEXT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "fl/types.h"
+
+namespace fedadmm {
+
+/// \brief What the server broadcast this wave and what it cost per client.
+struct DownlinkPlan {
+  /// Decoded broadcast the clients actually train on; empty when no
+  /// downlink codec is attached (clients read θ directly).
+  std::vector<float> broadcast;
+  /// True when `broadcast` holds the decoded (lossy) θ.
+  bool use_broadcast = false;
+  /// Wire bytes each selected client downloads (codec-compressed θ plus any
+  /// uncompressed algorithm extras).
+  int64_t per_client_bytes = 0;
+  /// The same download at uncompressed fp32 size.
+  int64_t per_client_bytes_raw = 0;
+
+  /// The parameter vector clients train on: the decoded broadcast when a
+  /// downlink codec ran, `theta` itself otherwise.
+  const std::vector<float>& ThetaForClients(
+      const std::vector<float>& theta) const {
+    return use_broadcast ? broadcast : theta;
+  }
+};
+
+/// \brief One round's (or dispatch wave's) working state.
+struct RoundContext {
+  /// Round index (sync) or wave id (event modes); keys all RNG streams.
+  int round = 0;
+  /// The selector's draw for this round/wave.
+  std::vector<int> selected;
+  /// Downlink billing + broadcast for this round/wave.
+  DownlinkPlan downlink;
+  /// Client updates, parallel to `selected` until admission filters them.
+  std::vector<UpdateMessage> updates;
+};
+
+}  // namespace fedadmm
+
+#endif  // FEDADMM_FL_ROUND_CONTEXT_H_

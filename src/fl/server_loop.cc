@@ -1,0 +1,418 @@
+#include "fl/server_loop.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace fedadmm {
+namespace {
+
+// Fork tags for the selection and init streams; the codec tags live in
+// fl/comm_pipeline.cc and the client tag in fl/client_executor.cc. All five
+// are pairwise distinct, so no stage can perturb another's stream.
+constexpr uint64_t kSelectionTag = 0x5E1EC7;
+constexpr uint64_t kInitTag = 0x1417;
+
+// Mean training loss over aggregated updates; NaN when nothing aggregated
+// (the record's established skipped-metric sentinel).
+double MeanTrainLoss(double loss_sum, size_t count) {
+  return count == 0 ? std::numeric_limits<double>::quiet_NaN()
+                    : loss_sum / static_cast<double>(count);
+}
+
+// Scales both payload vectors in place (deadline partial admissions and
+// staleness discounts).
+void ScalePayload(float scale, UpdateMessage* msg) {
+  for (float& v : msg->delta) v *= scale;
+  for (float& v : msg->delta2) v *= scale;
+}
+
+// Fraction-aware download billing: a client dropped before its download
+// completed is billed only the bytes that reached it by the cut-off.
+int64_t BilledBytes(double fraction, int64_t per_client) {
+  if (fraction >= 1.0) return per_client;
+  return static_cast<int64_t>(
+      std::llround(fraction * static_cast<double>(per_client)));
+}
+
+}  // namespace
+
+ServerLoop::ServerLoop(FederatedProblem* problem,
+                       FederatedAlgorithm* algorithm,
+                       ClientSelector* selector,
+                       const SimulationConfig& config,
+                       const SystemModel* system_model,
+                       UpdateCodec* uplink_codec, UpdateCodec* downlink_codec,
+                       const RoundObserver* observer,
+                       std::vector<float>* theta)
+    : problem_(problem),
+      algorithm_(algorithm),
+      selector_(selector),
+      config_(config),
+      system_model_(system_model),
+      observer_(observer),
+      master_(config.seed),
+      selection_rng_(master_.Fork(kSelectionTag)),
+      init_rng_(master_.Fork(kInitTag)),
+      pipeline_(uplink_codec, downlink_codec, master_),
+      executor_(problem, algorithm, master_, config.num_threads),
+      theta_(*theta) {}
+
+void ServerLoop::InitializeModel() {
+  theta_ = problem_->InitialParameters(&init_rng_);
+  AlgorithmContext ctx;
+  ctx.num_clients = problem_->num_clients();
+  ctx.dim = problem_->dim();
+  algorithm_->Setup(ctx, theta_);
+}
+
+bool ServerLoop::FinalizeRecord(RoundRecord record, Stopwatch* watch,
+                                History* history) {
+  const int round = record.round;
+  const bool last_round = (round == config_.max_rounds - 1);
+  const bool evaluate = last_round || (round % config_.eval_every == 0);
+  if (evaluate) {
+    const EvalResult eval = problem_->Evaluate(theta_, /*worker=*/0);
+    record.test_accuracy = eval.accuracy;
+    record.test_loss = eval.loss;
+  } else {
+    record.test_accuracy = std::numeric_limits<double>::quiet_NaN();
+    record.test_loss = std::numeric_limits<double>::quiet_NaN();
+  }
+  record.wall_seconds = watch->ElapsedSeconds();
+  watch->Reset();
+  history->Add(record);
+  if (observer_ && *observer_) (*observer_)(record);
+  if (config_.log_rounds && evaluate) {
+    if (config_.mode == ExecutionMode::kSync) {
+      FEDADMM_LOG(Info) << algorithm_->name() << " round " << round
+                        << " acc=" << record.test_accuracy
+                        << " loss=" << record.train_loss;
+    } else {
+      FEDADMM_LOG(Info) << algorithm_->name() << " ["
+                        << ExecutionModeName(config_.mode) << "] round "
+                        << round << " t=" << record.sim_seconds
+                        << " acc=" << record.test_accuracy
+                        << " stale=" << record.staleness_mean;
+    }
+  }
+  return evaluate && config_.target_accuracy > 0.0 &&
+         record.test_accuracy >= config_.target_accuracy;
+}
+
+Result<History> ServerLoop::Run() {
+  if (config_.max_rounds <= 0) {
+    return Status::InvalidArgument("Simulation: max_rounds must be > 0");
+  }
+  if (selector_->num_clients() != problem_->num_clients()) {
+    return Status::InvalidArgument(
+        "Simulation: selector and problem disagree on client count");
+  }
+  if (config_.eval_every < 1) {
+    return Status::InvalidArgument("Simulation: eval_every must be >= 1");
+  }
+  if (config_.mode == ExecutionMode::kSync) return RunSync();
+  if (system_model_ == nullptr) {
+    return Status::InvalidArgument(
+        "Simulation: mode '" + ExecutionModeName(config_.mode) +
+        "' needs a system model (event times come from the virtual clock)");
+  }
+  return RunEventDriven();
+}
+
+Result<History> ServerLoop::RunSync() {
+  InitializeModel();
+
+  History history;
+  VirtualClock clock;
+  for (int round = 0; round < config_.max_rounds; ++round) {
+    Stopwatch watch;
+    RoundContext ctx;
+    ctx.round = round;
+    ctx.selected = selector_->Select(round, &selection_rng_);
+    FEDADMM_CHECK_MSG(!ctx.selected.empty(), "selector returned empty set");
+
+    // Downlink: the server encodes θ once per round; every selected client
+    // trains on the decoded broadcast (what it actually received) and is
+    // billed the compressed size. Algorithm extras beyond θ (e.g.
+    // SCAFFOLD's control variate) stay uncompressed.
+    ctx.downlink = pipeline_.PrepareDownlink(
+        round, theta_, algorithm_->DownloadBytesPerClient());
+
+    executor_.RunWave(round, ctx.selected, ctx.downlink.ThetaForClients(theta_),
+                      &ctx.updates);
+
+    // Predict each upload's wire size before the straggler judgment: the
+    // virtual clock bills bytes, and WireBytes() gives the exact size
+    // without materializing payloads. Actual encoding happens after the
+    // judgment so stateful codecs only see admitted uploads.
+    pipeline_.PredictUplinkBytes(&ctx.updates);
+
+    RoundRecord record;
+    record.round = round;
+    record.num_selected = static_cast<int>(ctx.selected.size());
+    int64_t download_bytes = static_cast<int64_t>(ctx.selected.size()) *
+                             ctx.downlink.per_client_bytes;
+    int64_t download_bytes_raw = static_cast<int64_t>(ctx.selected.size()) *
+                                 ctx.downlink.per_client_bytes_raw;
+
+    if (system_model_) {
+      // Time the round on the virtual clock and let the straggler policy
+      // drop (or scale down) late updates before aggregation.
+      const RoundJudgment judgment = system_model_->JudgeRound(
+          ctx.updates, ctx.downlink.per_client_bytes);
+      record.num_dropped = judgment.num_dropped;
+      record.num_admitted_partial = judgment.num_admitted_partial;
+      clock.Advance(judgment.round_seconds);
+      // Bill only the downlink bytes the fleet actually received: a client
+      // dropped while its broadcast was still in flight pays the received
+      // fraction, not the full model.
+      download_bytes = 0;
+      download_bytes_raw = 0;
+      std::vector<UpdateMessage> admitted;
+      admitted.reserve(ctx.updates.size());
+      for (size_t i = 0; i < ctx.updates.size(); ++i) {
+        const StragglerDecision& decision = judgment.decisions[i];
+        download_bytes += BilledBytes(decision.download_fraction,
+                                      ctx.downlink.per_client_bytes);
+        download_bytes_raw += BilledBytes(decision.download_fraction,
+                                          ctx.downlink.per_client_bytes_raw);
+        if (decision.fate == ClientFate::kDropped) continue;
+        UpdateMessage msg = std::move(ctx.updates[i]);
+        if (decision.fate == ClientFate::kAdmittedPartial) {
+          // The client shipped its iterate at the deadline: model the
+          // shorter SGD path as a proportionally smaller delta. Per-client
+          // algorithm state keeps the full pass — see the modeling note on
+          // DeadlineAdmitPartialPolicy.
+          ScalePayload(static_cast<float>(decision.work_fraction), &msg);
+        }
+        admitted.push_back(std::move(msg));
+      }
+      ctx.updates = std::move(admitted);
+    }
+    record.sim_seconds = clock.now();
+
+    // Uplink: encode what the server actually receives — dropped uploads
+    // must not feed error-feedback residuals, and a partially-admitted
+    // client encodes its scaled (deadline) delta.
+    pipeline_.EncodeUplinkAll(round, &ctx.updates);
+
+    // An all-dropped round wastes its deadline but leaves θ untouched.
+    if (!ctx.updates.empty()) {
+      algorithm_->ServerUpdate(ctx.updates, round, &theta_);
+    }
+
+    double loss_sum = 0.0;
+    int64_t upload = 0;
+    int64_t upload_raw = 0;
+    for (const UpdateMessage& msg : ctx.updates) {
+      loss_sum += msg.train_loss;
+      upload += msg.UploadBytes();
+      upload_raw += msg.RawBytes();
+    }
+    record.train_loss = MeanTrainLoss(loss_sum, ctx.updates.size());
+    record.upload_bytes = upload;
+    record.upload_bytes_raw = upload_raw;
+    record.download_bytes = download_bytes;
+    record.download_bytes_raw = download_bytes_raw;
+    // Sync aggregation is always fresh; the NaN mean marks an all-dropped
+    // round, mirroring train_loss.
+    record.staleness_mean =
+        ctx.updates.empty() ? std::numeric_limits<double>::quiet_NaN() : 0.0;
+    record.staleness_max = 0;
+
+    if (FinalizeRecord(std::move(record), &watch, &history)) break;
+  }
+  return history;
+}
+
+void ServerLoop::DispatchWave(const std::vector<int>& clients, int wave,
+                              double now, int theta_version,
+                              EventQueue* queue) {
+  RoundContext ctx;
+  ctx.round = wave;
+  ctx.selected = clients;
+  ctx.downlink = pipeline_.PrepareDownlink(
+      wave, theta_, algorithm_->DownloadBytesPerClient());
+  executor_.RunWave(wave, ctx.selected, ctx.downlink.ThetaForClients(theta_),
+                    &ctx.updates);
+  pipeline_.PredictUplinkBytes(&ctx.updates);
+
+  const FleetModel& fleet = system_model_->fleet();
+  const StragglerPolicy& policy = system_model_->policy();
+  for (size_t i = 0; i < ctx.updates.size(); ++i) {
+    const int client = ctx.selected[i];
+    ClientCompletionEvent event = MakeClientCompletionEvent(
+        fleet.profile(client), policy, now, ctx.downlink.per_client_bytes,
+        std::move(ctx.updates[i]), wave, theta_version, sequence_++);
+    pending_download_bytes_ += BilledBytes(event.decision.download_fraction,
+                                           ctx.downlink.per_client_bytes);
+    pending_download_bytes_raw_ += BilledBytes(
+        event.decision.download_fraction, ctx.downlink.per_client_bytes_raw);
+    in_flight_[static_cast<size_t>(client)] = 1;
+    queue->Push(std::move(event));
+  }
+}
+
+int ServerLoop::PickReplacement(int wave) {
+  const std::vector<int> candidates = selector_->Select(wave, &selection_rng_);
+  for (const int client : candidates) {
+    if (!in_flight_[static_cast<size_t>(client)]) return client;
+  }
+  for (size_t client = 0; client < in_flight_.size(); ++client) {
+    if (!in_flight_[client]) return static_cast<int>(client);
+  }
+  return -1;
+}
+
+Result<History> ServerLoop::RunEventDriven() {
+  InitializeModel();
+  in_flight_.assign(static_cast<size_t>(problem_->num_clients()), 0);
+
+  const StalenessWeightFn weight = config_.staleness_weight
+                                       ? config_.staleness_weight
+                                       : ConstantStalenessWeight();
+
+  History history;
+  EventQueue queue;
+  int wave_counter = 0;
+  int server_version = 0;
+
+  // The initial wave fixes the engine's concurrency: one in-flight client
+  // per slot, each freed slot refilled on completion.
+  const std::vector<int> initial =
+      selector_->Select(wave_counter, &selection_rng_);
+  FEDADMM_CHECK_MSG(!initial.empty(), "selector returned empty set");
+  const int concurrency = static_cast<int>(initial.size());
+  DispatchWave(initial, wave_counter++, /*now=*/0.0, server_version, &queue);
+
+  const int buffer_target =
+      config_.mode == ExecutionMode::kAsync
+          ? 1
+          : (config_.buffer_size > 0
+                 ? std::min(config_.buffer_size, concurrency)
+                 : std::max(1, concurrency / 2));
+
+  std::vector<ClientCompletionEvent> buffer;
+  int pending_dropped = 0;
+  int pending_partial = 0;
+  int drops_since_aggregate = 0;
+  Stopwatch watch;
+
+  // One iteration per event; one RoundRecord per aggregation (or per
+  // starved wave of drops). The queue only empties if every client is
+  // simultaneously in flight and none can be replaced, which the
+  // replacement fallback prevents; the guard keeps the loop total anyway.
+  while (history.size() < config_.max_rounds && !queue.empty()) {
+    ClientCompletionEvent event = queue.Pop();
+    const double now = event.time;
+    in_flight_[static_cast<size_t>(event.client_id)] = 0;
+
+    bool aggregated = false;
+    if (event.decision.fate == ClientFate::kDropped) {
+      ++pending_dropped;
+      ++drops_since_aggregate;
+    } else {
+      drops_since_aggregate = 0;
+      if (event.decision.fate == ClientFate::kAdmittedPartial) {
+        ++pending_partial;
+        ScalePayload(static_cast<float>(event.decision.work_fraction),
+                     &event.message);
+      }
+      // Serial, in event order: stateful codecs see a deterministic
+      // schedule regardless of thread count.
+      pipeline_.EncodeUplink(event.wave, &event.message);
+      buffer.push_back(std::move(event));
+      aggregated = static_cast<int>(buffer.size()) >= buffer_target;
+    }
+
+    // A full wave of consecutive deadline misses forces a flush: aggregate
+    // whatever the buffer holds (a timeout flush), or — with an empty
+    // buffer — emit the all-dropped record (NaN train_loss, θ untouched).
+    // Either way the run keeps emitting records and terminates even when
+    // every completion event misses the deadline forever.
+    const bool force_flush =
+        !aggregated && drops_since_aggregate >= concurrency;
+
+    if (aggregated || force_flush) {
+      const int round = history.size();
+      RoundRecord record;
+      record.round = round;
+      record.num_selected = static_cast<int>(buffer.size());
+      record.num_dropped = pending_dropped;
+      record.num_admitted_partial = pending_partial;
+      record.sim_seconds = now;
+      pending_dropped = 0;
+      pending_partial = 0;
+      drops_since_aggregate = 0;
+
+      double loss_sum = 0.0;
+      int64_t upload = 0;
+      int64_t upload_raw = 0;
+      double staleness_sum = 0.0;
+      int staleness_max = 0;
+      for (ClientCompletionEvent& e : buffer) {
+        const int staleness = server_version - e.theta_version;
+        staleness_sum += staleness;
+        staleness_max = std::max(staleness_max, staleness);
+        loss_sum += e.message.train_loss;
+        upload += e.message.UploadBytes();
+        upload_raw += e.message.RawBytes();
+        // Discount stale payloads (FedBuff/FedAsync); the raw count still
+        // reaches AggregateOne for methods that adapt further.
+        const double w = weight(staleness);
+        FEDADMM_CHECK_MSG(w >= 0.0 && std::isfinite(w),
+                          "staleness weight must be finite and >= 0");
+        if (w != 1.0) ScalePayload(static_cast<float>(w), &e.message);
+      }
+      record.train_loss = MeanTrainLoss(loss_sum, buffer.size());
+      record.staleness_mean =
+          buffer.empty() ? std::numeric_limits<double>::quiet_NaN()
+                         : staleness_sum / static_cast<double>(buffer.size());
+      record.staleness_max = staleness_max;
+      record.upload_bytes = upload;
+      record.upload_bytes_raw = upload_raw;
+      record.download_bytes = pending_download_bytes_;
+      record.download_bytes_raw = pending_download_bytes_raw_;
+      pending_download_bytes_ = 0;
+      pending_download_bytes_raw_ = 0;
+
+      if (config_.mode == ExecutionMode::kAsync && !buffer.empty()) {
+        ClientCompletionEvent& e = buffer.front();
+        algorithm_->AggregateOne(std::move(e.message), round,
+                                 server_version - e.theta_version, &theta_);
+        ++server_version;
+      } else if (!buffer.empty()) {
+        std::vector<UpdateMessage> batch;
+        batch.reserve(buffer.size());
+        for (ClientCompletionEvent& e : buffer) {
+          batch.push_back(std::move(e.message));
+        }
+        algorithm_->ServerUpdate(batch, round, &theta_);
+        ++server_version;
+      }
+      buffer.clear();
+
+      // Both stop paths break before the replacement dispatch below, so
+      // every billed download has been flushed into a record by the time
+      // the loop exits — pending_download_bytes_ is always 0 on return.
+      if (FinalizeRecord(record, &watch, &history)) break;
+      if (history.size() >= config_.max_rounds) break;
+    }
+
+    // Refill the freed slot. After an async aggregation this dispatch sees
+    // the fresh θ (and version), which is the whole point of the mode.
+    const int replacement = PickReplacement(wave_counter);
+    if (replacement >= 0) {
+      DispatchWave({replacement}, wave_counter, now, server_version, &queue);
+    }
+    ++wave_counter;
+  }
+  return history;
+}
+
+}  // namespace fedadmm

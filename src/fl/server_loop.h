@@ -1,0 +1,121 @@
+/// \file server_loop.h
+/// \brief The federation engine: composable stages under three execution
+/// modes.
+///
+/// This replaces the old ~200-line `Simulation::Run()` monolith. The loop
+/// composes four stages per round/wave —
+///
+///   selection → CommPipeline (downlink) → ClientExecutor (fan-out)
+///             → admission (straggler policy) → CommPipeline (uplink)
+///             → aggregation → metrics
+///
+/// — and schedules them two ways:
+///
+///   * **sync**: one lockstep pass per round, exactly the historical
+///     control flow (same RNG forks, same float operations, same
+///     accounting order), so trajectories are bitwise identical to the
+///     monolith.
+///   * **event-driven** (buffered / async): each dispatched client becomes
+///     a `ClientCompletionEvent` on a `sys/EventQueue`, scheduled at its
+///     own `ComputeClientTiming` finish (as shaped by the straggler
+///     policy, reused as the per-event admission predicate). The server
+///     pops events in simulated-time order: async aggregates every
+///     admitted arrival via `FederatedAlgorithm::AggregateOne`; buffered
+///     collects `buffer_size` admitted arrivals, discounts them by the
+///     staleness weight and applies one batched `ServerUpdate`. Every
+///     aggregation emits one `RoundRecord` whose `sim_seconds` is the
+///     triggering event's absolute time. A full wave of consecutive drops
+///     with nothing to aggregate emits an all-dropped record (NaN
+///     train_loss), so a starved deadline still terminates after
+///     `max_rounds` records.
+///
+/// Determinism: parallel client execution only happens within a dispatch
+/// wave (all members share one θ snapshot and per-(wave, client) RNG
+/// forks); everything else runs serially in event order, which the queue
+/// resolves by (time, dispatch sequence). Hence all three modes replay
+/// bitwise for a fixed seed, independent of thread count.
+
+#ifndef FEDADMM_FL_SERVER_LOOP_H_
+#define FEDADMM_FL_SERVER_LOOP_H_
+
+#include <vector>
+
+#include "fl/client_executor.h"
+#include "fl/comm_pipeline.h"
+#include "fl/round_context.h"
+#include "fl/simulation.h"
+#include "sys/event_queue.h"
+#include "util/stopwatch.h"
+
+namespace fedadmm {
+
+/// \brief Executes one federated training session for `Simulation`.
+///
+/// Borrow-only: problem/algorithm/selector/system model/codecs/observer —
+/// and the θ output buffer, which the loop mutates in place so observers
+/// can read the live model mid-run — must outlive the loop.
+class ServerLoop {
+ public:
+  ServerLoop(FederatedProblem* problem, FederatedAlgorithm* algorithm,
+             ClientSelector* selector, const SimulationConfig& config,
+             const SystemModel* system_model, UpdateCodec* uplink_codec,
+             UpdateCodec* downlink_codec, const RoundObserver* observer,
+             std::vector<float>* theta);
+
+  /// Runs the configured execution mode to completion.
+  Result<History> Run();
+
+ private:
+  /// Lockstep rounds; bitwise identical to the historical monolith.
+  Result<History> RunSync();
+  /// Event-queue driven buffered/async modes; requires a system model.
+  Result<History> RunEventDriven();
+
+  /// Draws θ⁰ and calls the algorithm's Setup (shared by both paths).
+  void InitializeModel();
+
+  /// Shared record tail for both paths: evaluates on the eval_every
+  /// cadence (NaN sentinels otherwise), stamps wall seconds, appends to
+  /// `history`, notifies the observer and logs. Returns true when the
+  /// record's evaluated accuracy reached the configured target (caller
+  /// stops). `record.round` must be set; `watch` is restarted.
+  bool FinalizeRecord(RoundRecord record, Stopwatch* watch,
+                      History* history);
+
+  /// Dispatches `clients` at simulated time `now` against the current θ:
+  /// downlink encode + billing, parallel client execution, uplink size
+  /// prediction, admission judgment, and one completion event per client.
+  void DispatchWave(const std::vector<int>& clients, int wave, double now,
+                    int theta_version, EventQueue* queue);
+
+  /// Picks a replacement client for a freed slot: the selector's draw for
+  /// `wave` filtered by in-flight status, falling back to the first idle
+  /// client id. Returns -1 when every client is busy.
+  int PickReplacement(int wave);
+
+  FederatedProblem* problem_;
+  FederatedAlgorithm* algorithm_;
+  ClientSelector* selector_;
+  const SimulationConfig& config_;
+  const SystemModel* system_model_;
+  const RoundObserver* observer_;
+
+  Rng master_;
+  Rng selection_rng_;
+  Rng init_rng_;
+  CommPipeline pipeline_;
+  ClientExecutor executor_;
+
+  /// Borrowed live model buffer (owned by Simulation).
+  std::vector<float>& theta_;
+
+  // Event-mode state (unused by sync).
+  std::vector<char> in_flight_;
+  int64_t sequence_ = 0;
+  int64_t pending_download_bytes_ = 0;
+  int64_t pending_download_bytes_raw_ = 0;
+};
+
+}  // namespace fedadmm
+
+#endif  // FEDADMM_FL_SERVER_LOOP_H_

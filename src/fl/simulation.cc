@@ -1,21 +1,32 @@
 #include "fl/simulation.h"
 
-#include <cmath>
-#include <limits>
-
-#include "util/logging.h"
-#include "util/stopwatch.h"
+#include "fl/server_loop.h"
 
 namespace fedadmm {
-namespace {
 
-// Fork tags for the codec RNG streams; distinct from the selection
-// (0x5E1EC7), init (0x1417) and client (0xC11E47) tags so attaching a codec
-// never perturbs the training streams.
-constexpr uint64_t kUplinkCodecTag = 0x7C0DEC01;
-constexpr uint64_t kDownlinkCodecTag = 0x7C0DEC02;
+const std::string& ExecutionModeName(ExecutionMode mode) {
+  static const std::string* const kSync = new std::string("sync");
+  static const std::string* const kBuffered = new std::string("buffered");
+  static const std::string* const kAsync = new std::string("async");
+  switch (mode) {
+    case ExecutionMode::kSync:
+      return *kSync;
+    case ExecutionMode::kBuffered:
+      return *kBuffered;
+    case ExecutionMode::kAsync:
+      return *kAsync;
+  }
+  return *kSync;
+}
 
-}  // namespace
+Result<ExecutionMode> ParseExecutionMode(const std::string& name) {
+  if (name == "sync") return ExecutionMode::kSync;
+  if (name == "buffered") return ExecutionMode::kBuffered;
+  if (name == "async") return ExecutionMode::kAsync;
+  return Status::InvalidArgument(
+      "ParseExecutionMode: unknown mode '" + name +
+      "' (want sync | buffered | async)");
+}
 
 Simulation::Simulation(FederatedProblem* problem,
                        FederatedAlgorithm* algorithm,
@@ -23,215 +34,15 @@ Simulation::Simulation(FederatedProblem* problem,
     : problem_(problem),
       algorithm_(algorithm),
       selector_(selector),
-      config_(config) {
+      config_(std::move(config)) {
   FEDADMM_CHECK(problem_ != nullptr && algorithm_ != nullptr &&
                 selector_ != nullptr);
 }
 
 Result<History> Simulation::Run() {
-  if (config_.max_rounds <= 0) {
-    return Status::InvalidArgument("Simulation: max_rounds must be > 0");
-  }
-  if (selector_->num_clients() != problem_->num_clients()) {
-    return Status::InvalidArgument(
-        "Simulation: selector and problem disagree on client count");
-  }
-  if (config_.eval_every < 1) {
-    return Status::InvalidArgument("Simulation: eval_every must be >= 1");
-  }
-
-  Rng master(config_.seed);
-  Rng selection_rng = master.Fork(0x5E1EC7);
-  Rng init_rng = master.Fork(0x1417);
-
-  theta_ = problem_->InitialParameters(&init_rng);
-  AlgorithmContext ctx;
-  ctx.num_clients = problem_->num_clients();
-  ctx.dim = problem_->dim();
-  algorithm_->Setup(ctx, theta_);
-
-  // Pool sizing: no point in more threads than a round has clients or the
-  // problem has worker slots.
-  int threads = config_.num_threads;
-  if (threads <= 0) threads = ThreadPool::DefaultNumThreads();
-  threads = std::min(threads, problem_->num_workers());
-  threads = std::max(threads, 1);
-  ThreadPool pool(threads);
-
-  History history;
-  VirtualClock clock;
-  for (int round = 0; round < config_.max_rounds; ++round) {
-    Stopwatch watch;
-    const std::vector<int> selected = selector_->Select(round, &selection_rng);
-    FEDADMM_CHECK_MSG(!selected.empty(), "selector returned empty set");
-
-    // Downlink: the server encodes θ once per round; every selected client
-    // trains on the decoded broadcast (what it actually received) and is
-    // billed the compressed size. Algorithm extras beyond θ (e.g.
-    // SCAFFOLD's control variate) stay uncompressed.
-    const int64_t raw_theta_bytes = static_cast<int64_t>(theta_.size()) *
-                                    static_cast<int64_t>(sizeof(float));
-    const int64_t download_per_client_raw =
-        algorithm_->DownloadBytesPerClient();
-    int64_t download_per_client = download_per_client_raw;
-    std::vector<float> broadcast;
-    const std::vector<float>* theta_for_clients = &theta_;
-    if (downlink_codec_) {
-      Rng down_rng =
-          master.Fork(kDownlinkCodecTag, static_cast<uint64_t>(round));
-      const Payload payload =
-          downlink_codec_->Encode(kBroadcastStream, theta_, &down_rng);
-      download_per_client =
-          payload.WireBytes() + (download_per_client_raw - raw_theta_bytes);
-      broadcast = downlink_codec_->Decode(payload);
-      theta_for_clients = &broadcast;
-    }
-
-    std::vector<UpdateMessage> updates(selected.size());
-    pool.ParallelFor(
-        static_cast<int>(selected.size()), [&](int idx, int worker) {
-          const int client = selected[static_cast<size_t>(idx)];
-          auto local = problem_->MakeLocalProblem(client, worker);
-          // Per-(round, client) stream: results do not depend on thread
-          // scheduling.
-          Rng client_rng = master.Fork(0xC11E47, static_cast<uint64_t>(round),
-                                       static_cast<uint64_t>(client));
-          updates[static_cast<size_t>(idx)] = algorithm_->ClientUpdate(
-              client, round, *theta_for_clients, local.get(), client_rng);
-        });
-
-    if (uplink_codec_) {
-      // Predict each upload's wire size before the straggler judgment: the
-      // virtual clock bills bytes, and WireBytes() gives the exact size
-      // without materializing payloads. Actual encoding happens after the
-      // judgment (see below) so stateful codecs only see admitted uploads.
-      // An empty payload vector (e.g. FedPD's non-communication rounds) is
-      // no transfer at all — no header bytes are billed.
-      for (UpdateMessage& msg : updates) {
-        int64_t wire = 0;
-        if (!msg.delta.empty()) {
-          wire += uplink_codec_->WireBytes(
-              static_cast<int64_t>(msg.delta.size()));
-        }
-        if (!msg.delta2.empty()) {
-          wire += uplink_codec_->WireBytes(
-              static_cast<int64_t>(msg.delta2.size()));
-        }
-        msg.wire_bytes = wire;
-      }
-    }
-
-    RoundRecord record;
-    record.round = round;
-    record.num_selected = static_cast<int>(selected.size());
-
-    if (system_model_) {
-      // Time the round on the virtual clock and let the straggler policy
-      // drop (or scale down) late updates before aggregation.
-      const RoundJudgment judgment =
-          system_model_->JudgeRound(updates, download_per_client);
-      record.num_dropped = judgment.num_dropped;
-      record.num_admitted_partial = judgment.num_admitted_partial;
-      clock.Advance(judgment.round_seconds);
-      std::vector<UpdateMessage> admitted;
-      admitted.reserve(updates.size());
-      for (size_t i = 0; i < updates.size(); ++i) {
-        const StragglerDecision& decision = judgment.decisions[i];
-        if (decision.fate == ClientFate::kDropped) continue;
-        UpdateMessage msg = std::move(updates[i]);
-        if (decision.fate == ClientFate::kAdmittedPartial) {
-          // The client shipped its iterate at the deadline: model the
-          // shorter SGD path as a proportionally smaller delta. Per-client
-          // algorithm state keeps the full pass — see the modeling note on
-          // DeadlineAdmitPartialPolicy.
-          const float scale = static_cast<float>(decision.work_fraction);
-          for (float& v : msg.delta) v *= scale;
-          for (float& v : msg.delta2) v *= scale;
-        }
-        admitted.push_back(std::move(msg));
-      }
-      updates = std::move(admitted);
-    }
-    record.sim_seconds = clock.now();
-
-    if (uplink_codec_) {
-      // Uplink: encode what the server actually receives — dropped uploads
-      // must not feed error-feedback residuals, and a partially-admitted
-      // client encodes its scaled (deadline) delta. Serial and in index
-      // order so stateful codecs see a deterministic schedule; each client
-      // draws from its own forked stream, so thread count cannot matter.
-      for (UpdateMessage& msg : updates) {
-        Rng up_rng =
-            master.Fork(kUplinkCodecTag, static_cast<uint64_t>(round),
-                        static_cast<uint64_t>(msg.client_id));
-        const int64_t primary_stream = 2 * static_cast<int64_t>(msg.client_id);
-        int64_t wire = 0;
-        if (!msg.delta.empty()) {
-          const Payload payload =
-              uplink_codec_->Encode(primary_stream, msg.delta, &up_rng);
-          wire += payload.WireBytes();
-          msg.delta = uplink_codec_->Decode(payload);
-        }
-        if (!msg.delta2.empty()) {
-          const Payload payload =
-              uplink_codec_->Encode(primary_stream + 1, msg.delta2, &up_rng);
-          wire += payload.WireBytes();
-          msg.delta2 = uplink_codec_->Decode(payload);
-        }
-        FEDADMM_CHECK_MSG(wire == msg.wire_bytes,
-                          "uplink codec: WireBytes() disagrees with Encode()");
-      }
-    }
-
-    // An all-dropped round wastes its deadline but leaves θ untouched.
-    if (!updates.empty()) {
-      algorithm_->ServerUpdate(updates, round, &theta_);
-    }
-
-    double loss_sum = 0.0;
-    int64_t upload = 0;
-    int64_t upload_raw = 0;
-    for (const UpdateMessage& msg : updates) {
-      loss_sum += msg.train_loss;
-      upload += msg.UploadBytes();
-      upload_raw += msg.RawBytes();
-    }
-    // An all-dropped round observed no training loss; NaN is the record's
-    // established skipped-metric sentinel.
-    record.train_loss =
-        updates.empty() ? std::numeric_limits<double>::quiet_NaN()
-                        : loss_sum / static_cast<double>(updates.size());
-    record.upload_bytes = upload;
-    record.upload_bytes_raw = upload_raw;
-    record.download_bytes =
-        static_cast<int64_t>(selected.size()) * download_per_client;
-    record.download_bytes_raw =
-        static_cast<int64_t>(selected.size()) * download_per_client_raw;
-
-    const bool last_round = (round == config_.max_rounds - 1);
-    const bool evaluate = last_round || (round % config_.eval_every == 0);
-    if (evaluate) {
-      const EvalResult eval = problem_->Evaluate(theta_, /*worker=*/0);
-      record.test_accuracy = eval.accuracy;
-      record.test_loss = eval.loss;
-    } else {
-      record.test_accuracy = std::numeric_limits<double>::quiet_NaN();
-      record.test_loss = std::numeric_limits<double>::quiet_NaN();
-    }
-    record.wall_seconds = watch.ElapsedSeconds();
-    history.Add(record);
-    if (observer_) observer_(record);
-    if (config_.log_rounds && evaluate) {
-      FEDADMM_LOG(Info) << algorithm_->name() << " round " << round
-                        << " acc=" << record.test_accuracy
-                        << " loss=" << record.train_loss;
-    }
-    if (evaluate && config_.target_accuracy > 0.0 &&
-        record.test_accuracy >= config_.target_accuracy) {
-      break;
-    }
-  }
-  return history;
+  ServerLoop loop(problem_, algorithm_, selector_, config_, system_model_,
+                  uplink_codec_, downlink_codec_, &observer_, &theta_);
+  return loop.Run();
 }
 
 }  // namespace fedadmm

@@ -1,30 +1,64 @@
 /// \file simulation.h
-/// \brief The federated training loop (Fig. 1 / Fig. 2 of the paper).
+/// \brief Public entry point of the federated training engine.
 ///
-/// Each round: the selector draws S_t, the selected clients run
-/// `algorithm->ClientUpdate` in parallel (one worker slot per thread),
-/// the server aggregates via `algorithm->ServerUpdate`, communication is
-/// accounted, and the global model is evaluated on the test set.
+/// `Simulation` validates its inputs and delegates to the event-driven
+/// federation engine (fl/server_loop.h), which composes four stages —
+/// selection, `CommPipeline` (codec billing), `ClientExecutor` (thread-pool
+/// fan-out) and aggregation — under one of three execution modes:
+///
+///   * `kSync`     — the paper's synchronous loop (Fig. 1 / Fig. 2): every
+///                   selected client reports before the server aggregates.
+///                   Bitwise identical to the historical monolithic
+///                   `Simulation::Run()`, with or without a system model.
+///   * `kBuffered` — FedBuff-style semi-synchronous: the server aggregates
+///                   as soon as `buffer_size` uploads arrive; late updates
+///                   carry a staleness counter and are discounted by the
+///                   pluggable staleness weight. Requires a system model.
+///   * `kAsync`    — every completion event triggers an immediate
+///                   `FederatedAlgorithm::AggregateOne`. Requires a system
+///                   model.
+///
+/// All three modes are deterministic for a fixed seed across thread counts.
 
 #ifndef FEDADMM_FL_SIMULATION_H_
 #define FEDADMM_FL_SIMULATION_H_
 
 #include <functional>
 #include <memory>
+#include <string>
 
 #include "comm/codec.h"
 #include "fl/algorithm.h"
 #include "fl/problem.h"
 #include "fl/selection.h"
+#include "fl/staleness.h"
 #include "fl/types.h"
 #include "sys/system_model.h"
 #include "util/thread_pool.h"
 
 namespace fedadmm {
 
+/// \brief How the server schedules client work and aggregation.
+enum class ExecutionMode {
+  /// Wait for the whole round (the historical behaviour; the default).
+  kSync = 0,
+  /// Aggregate once `buffer_size` uploads arrived (semi-synchronous).
+  kBuffered = 1,
+  /// Aggregate every upload the instant it arrives (fully asynchronous).
+  kAsync = 2,
+};
+
+/// Canonical mode name: "sync", "buffered" or "async".
+const std::string& ExecutionModeName(ExecutionMode mode);
+
+/// Parses a mode name; InvalidArgument for anything unknown.
+Result<ExecutionMode> ParseExecutionMode(const std::string& name);
+
 /// \brief Run-level knobs of the simulator.
 struct SimulationConfig {
-  /// Maximum number of rounds T.
+  /// Maximum number of rounds T. In the event-driven modes a "round" is one
+  /// aggregation (buffer flush / async arrival), so budgets should scale by
+  /// the per-round client count for a fair cross-mode comparison.
   int max_rounds = 100;
   /// Stop early once test accuracy reaches this value (disabled if <= 0).
   double target_accuracy = -1.0;
@@ -38,6 +72,16 @@ struct SimulationConfig {
   int num_threads = 0;
   /// Emit an INFO log line per evaluated round.
   bool log_rounds = false;
+  /// Execution semantics (see ExecutionMode). `kBuffered` and `kAsync`
+  /// require a system model: event times come from the virtual clock.
+  ExecutionMode mode = ExecutionMode::kSync;
+  /// Buffered mode: aggregate once this many uploads arrived. <= 0 picks
+  /// half the initial wave (FedBuff's K = |S|/2 heuristic); clamped to the
+  /// wave size.
+  int buffer_size = 0;
+  /// Staleness discount applied to late updates in buffered/async modes
+  /// (fl/staleness.h); null means constant 1 (no discount).
+  StalenessWeightFn staleness_weight;
 };
 
 /// \brief Optional per-round observer (round index, record) — benches use it
@@ -62,8 +106,10 @@ class Simulation {
   /// Attaches a system-heterogeneity model (borrowed, may be nullptr).
   /// When set, every round is timed on the virtual clock
   /// (`RoundRecord::sim_seconds`) and the model's straggler policy may drop
-  /// or partially admit updates before aggregation. When unset the training
-  /// trajectory is bitwise identical to a build without src/sys.
+  /// or partially admit updates before aggregation; in the event-driven
+  /// modes the policy doubles as the per-event admission predicate. When
+  /// unset the sync training trajectory is bitwise identical to a build
+  /// without src/sys.
   void set_system_model(const SystemModel* model) { system_model_ = model; }
 
   /// Attaches an uplink codec (borrowed, may be nullptr): every client
@@ -72,16 +118,16 @@ class Simulation {
   /// model is attached), and the server aggregates the decoded — lossy —
   /// reconstruction. Only updates the straggler policy admits are encoded
   /// (a dropped upload never feeds error-feedback residuals; partial
-  /// admissions encode their scaled delta), in deterministic index order.
+  /// admissions encode their scaled delta), in deterministic order.
   /// With the identity codec (or none) the trajectory and accounting are
   /// bitwise unchanged.
   void set_uplink_codec(UpdateCodec* codec) { uplink_codec_ = codec; }
 
   /// Attaches a downlink codec (borrowed, may be nullptr): the server
-  /// encodes the θ broadcast once per round, clients train on the decoded
-  /// broadcast, and per-client download bytes bill the compressed size
-  /// (algorithm extras beyond θ — e.g. SCAFFOLD's control variate — stay
-  /// uncompressed).
+  /// encodes the θ broadcast once per dispatch wave, clients train on the
+  /// decoded broadcast, and per-client download bytes bill the compressed
+  /// size (algorithm extras beyond θ — e.g. SCAFFOLD's control variate —
+  /// stay uncompressed).
   void set_downlink_codec(UpdateCodec* codec) { downlink_codec_ = codec; }
 
   /// Final global model (valid after Run).

@@ -1,0 +1,39 @@
+#include "fl/staleness.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace fedadmm {
+
+StalenessWeightFn ConstantStalenessWeight() {
+  return [](int) { return 1.0; };
+}
+
+StalenessWeightFn PolynomialStalenessWeight(double alpha) {
+  FEDADMM_CHECK_MSG(alpha >= 0.0,
+                    "PolynomialStalenessWeight: alpha must be >= 0");
+  return [alpha](int staleness) {
+    return std::pow(1.0 + static_cast<double>(staleness < 0 ? 0 : staleness),
+                    -alpha);
+  };
+}
+
+Result<StalenessWeightFn> MakeStalenessWeight(const std::string& spec) {
+  if (spec == "constant") return ConstantStalenessWeight();
+  const std::string kPoly = "poly:";
+  if (spec.rfind(kPoly, 0) == 0) {
+    const std::string arg = spec.substr(kPoly.size());
+    char* end = nullptr;
+    const double alpha = std::strtod(arg.c_str(), &end);
+    if (arg.empty() || end == nullptr || *end != '\0' || alpha < 0.0 ||
+        !std::isfinite(alpha)) {
+      return Status::InvalidArgument(
+          "MakeStalenessWeight: bad alpha in spec '" + spec + "'");
+    }
+    return PolynomialStalenessWeight(alpha);
+  }
+  return Status::InvalidArgument("MakeStalenessWeight: unknown spec '" +
+                                 spec + "' (want constant | poly:<alpha>)");
+}
+
+}  // namespace fedadmm

@@ -2,7 +2,7 @@
 
 #include <cmath>
 
-#include "util/csv.h"
+#include "fl/history_csv.h"
 
 namespace fedadmm {
 
@@ -75,24 +75,11 @@ int64_t History::TotalDownloadBytesRaw() const {
 }
 
 Status History::WriteCsv(const std::string& path) const {
-  CsvWriter writer;
+  // The canonical schema lives in fl/history_csv.h; everything that writes
+  // per-round rows (this method, the benches, the examples) shares it.
+  HistoryCsvWriter writer;
   FEDADMM_RETURN_IF_ERROR(writer.Open(path));
-  FEDADMM_RETURN_IF_ERROR(writer.WriteRow(
-      {"round", "num_selected", "train_loss", "test_accuracy", "test_loss",
-       "upload_bytes", "download_bytes", "upload_bytes_raw",
-       "download_bytes_raw", "wall_seconds", "sim_seconds", "num_dropped",
-       "num_admitted_partial"}));
-  for (const RoundRecord& r : records_) {
-    FEDADMM_RETURN_IF_ERROR(writer.WriteNumericRow(
-        {static_cast<double>(r.round), static_cast<double>(r.num_selected),
-         r.train_loss, r.test_accuracy, r.test_loss,
-         static_cast<double>(r.upload_bytes),
-         static_cast<double>(r.download_bytes),
-         static_cast<double>(r.upload_bytes_raw),
-         static_cast<double>(r.download_bytes_raw), r.wall_seconds,
-         r.sim_seconds, static_cast<double>(r.num_dropped),
-         static_cast<double>(r.num_admitted_partial)}));
-  }
+  FEDADMM_RETURN_IF_ERROR(writer.AppendHistory({}, *this));
   return writer.Close();
 }
 

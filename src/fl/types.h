@@ -77,6 +77,11 @@ struct RoundRecord {
   int num_dropped = 0;
   /// Clients admitted with only a fraction of their local work.
   int num_admitted_partial = 0;
+  /// Staleness of the aggregated updates (server versions elapsed between
+  /// an update's dispatch and its aggregation). Always 0 in sync mode —
+  /// every update is fresh; NaN mean when the record aggregated nothing.
+  double staleness_mean = 0.0;
+  int staleness_max = 0;
 };
 
 /// \brief The full trajectory of one federated run.

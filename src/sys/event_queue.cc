@@ -1,0 +1,54 @@
+#include "sys/event_queue.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/status.h"
+
+namespace fedadmm {
+namespace {
+
+// Max-heap comparator inverted for a min-heap on (time, sequence).
+bool Later(const ClientCompletionEvent& a, const ClientCompletionEvent& b) {
+  if (a.time != b.time) return a.time > b.time;
+  return a.sequence > b.sequence;
+}
+
+}  // namespace
+
+ClientCompletionEvent MakeClientCompletionEvent(
+    const ClientSystemProfile& profile, const StragglerPolicy& policy,
+    double dispatch_seconds, int64_t download_bytes, UpdateMessage message,
+    int wave, int theta_version, int64_t sequence) {
+  ClientCompletionEvent event;
+  event.client_id = message.client_id;
+  event.wave = wave;
+  event.theta_version = theta_version;
+  event.sequence = sequence;
+  event.timing = ComputeClientTiming(profile, message.steps_run,
+                                     message.UploadBytes(), download_bytes);
+  event.decision = policy.Judge(event.timing);
+  event.time = dispatch_seconds + event.decision.finish_seconds;
+  event.message = std::move(message);
+  return event;
+}
+
+void EventQueue::Push(ClientCompletionEvent event) {
+  heap_.push_back(std::move(event));
+  std::push_heap(heap_.begin(), heap_.end(), Later);
+}
+
+ClientCompletionEvent EventQueue::Pop() {
+  FEDADMM_CHECK_MSG(!heap_.empty(), "EventQueue: Pop on empty queue");
+  std::pop_heap(heap_.begin(), heap_.end(), Later);
+  ClientCompletionEvent event = std::move(heap_.back());
+  heap_.pop_back();
+  return event;
+}
+
+const ClientCompletionEvent& EventQueue::Peek() const {
+  FEDADMM_CHECK_MSG(!heap_.empty(), "EventQueue: Peek on empty queue");
+  return heap_.front();
+}
+
+}  // namespace fedadmm

@@ -16,6 +16,14 @@ double MaxFinishSeconds(const std::vector<StragglerDecision>& decisions) {
   return finish;
 }
 
+// Fraction of the broadcast received by `cutoff` seconds into the round,
+// approximated as time-proportional over the download leg.
+double ReceivedDownloadFraction(const ClientTiming& timing, double cutoff) {
+  if (timing.download_seconds <= cutoff) return 1.0;
+  if (timing.download_seconds <= 0.0) return 1.0;
+  return std::max(0.0, cutoff / timing.download_seconds);
+}
+
 }  // namespace
 
 StragglerDecision WaitForAllPolicy::Judge(const ClientTiming& timing) const {
@@ -45,6 +53,7 @@ StragglerDecision DeadlineDropPolicy::Judge(const ClientTiming& timing) const {
   } else {
     d.fate = ClientFate::kDropped;
     d.finish_seconds = deadline_seconds_;  // the server waits out the round
+    d.download_fraction = ReceivedDownloadFraction(timing, deadline_seconds_);
   }
   return d;
 }
@@ -75,6 +84,7 @@ StragglerDecision DeadlineAdmitPartialPolicy::Judge(
   const double compute_budget = deadline_seconds_ - transfer;
   if (compute_budget <= 0.0 || timing.compute_seconds <= 0.0) {
     d.fate = ClientFate::kDropped;
+    d.download_fraction = ReceivedDownloadFraction(timing, deadline_seconds_);
   } else {
     d.fate = ClientFate::kAdmittedPartial;
     d.work_fraction = compute_budget / timing.compute_seconds;

@@ -47,6 +47,13 @@ struct StragglerDecision {
   /// When the server stopped waiting for this client (seconds into the
   /// round): its finish time, or the deadline if it overran.
   double finish_seconds = 0.0;
+  /// Fraction of the downlink broadcast the client had received when the
+  /// server stopped tracking it. 1 unless the client was dropped while its
+  /// download was still in flight (time-proportional approximation of the
+  /// bytes on the wire by the cut-off); download accounting bills only this
+  /// fraction — a client that never finished pulling θ is not billed a full
+  /// broadcast.
+  double download_fraction = 1.0;
 };
 
 /// \brief Server-side straggler handling strategy.

@@ -1,0 +1,126 @@
+// The all-dropped paths, sync and event-driven (satellite of the engine
+// refactor): when every update misses the deadline the round must record
+// the NaN train_loss sentinel, leave θ untouched, and — in the event modes
+// — keep draining the event queue so the run still terminates after
+// max_rounds records.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "core/fedadmm.h"
+#include "fl/quadratic_problem.h"
+#include "fl/selection.h"
+#include "fl/simulation.h"
+#include "sys/system_model.h"
+
+namespace fedadmm {
+namespace {
+
+QuadraticSpec Spec() {
+  QuadraticSpec spec;
+  spec.num_clients = 8;
+  spec.dim = 5;
+  spec.heterogeneity = 1.0;
+  spec.seed = 41;
+  return spec;
+}
+
+FedAdmmOptions Options() {
+  FedAdmmOptions options;
+  options.local.learning_rate = 0.05f;
+  options.local.batch_size = 4;
+  options.local.max_epochs = 2;
+  options.rho = StepSchedule(0.1);
+  return options;
+}
+
+// A deadline no client can meet: even one SGD step at uniform-preset speed
+// takes longer than a nanosecond-scale cut-off.
+SystemModel ImpossibleDeadlineModel(int clients) {
+  FleetModel fleet =
+      FleetModel::FromPreset("uniform", clients, 3).ValueOrDie();
+  return SystemModel(
+      std::move(fleet),
+      MakeStragglerPolicy("deadline-drop", 1e-9).ValueOrDie());
+}
+
+struct RunOutput {
+  History history;
+  std::vector<float> theta;
+};
+
+RunOutput RunWithModel(ExecutionMode mode, const SystemModel* model,
+                       int rounds, uint64_t seed = 7) {
+  QuadraticProblem problem(Spec());
+  FedAdmm algo(Options());
+  UniformFractionSelector selector(8, 0.5);
+  SimulationConfig config;
+  config.max_rounds = rounds;
+  config.seed = seed;
+  config.num_threads = 2;
+  config.mode = mode;
+  Simulation sim(&problem, &algo, &selector, config);
+  sim.set_system_model(model);
+  RunOutput run;
+  run.history = std::move(sim.Run()).ValueOrDie();
+  run.theta = sim.theta();
+  return run;
+}
+
+TEST(AllDroppedTest, SyncRoundRecordsNaNSentinelAndCounts) {
+  const SystemModel model = ImpossibleDeadlineModel(8);
+  const RunOutput run = RunWithModel(ExecutionMode::kSync, &model, 5);
+  ASSERT_EQ(run.history.size(), 5);
+  for (const RoundRecord& r : run.history.records()) {
+    EXPECT_TRUE(std::isnan(r.train_loss)) << "round " << r.round;
+    EXPECT_TRUE(std::isnan(r.staleness_mean)) << "round " << r.round;
+    EXPECT_EQ(r.num_dropped, r.num_selected) << "round " << r.round;
+    EXPECT_EQ(r.upload_bytes, 0) << "round " << r.round;
+  }
+}
+
+TEST(AllDroppedTest, SyncLeavesThetaAtInitialModel) {
+  // θ⁰ only depends on the seed's init stream, so a 1-round and a 5-round
+  // all-dropped run must end at the identical untouched model.
+  const SystemModel model = ImpossibleDeadlineModel(8);
+  const RunOutput one = RunWithModel(ExecutionMode::kSync, &model, 1);
+  const RunOutput five = RunWithModel(ExecutionMode::kSync, &model, 5);
+  EXPECT_EQ(one.theta, five.theta);
+}
+
+TEST(AllDroppedTest, EventQueueDrainsWhenEveryCompletionMissesDeadline) {
+  // Async with an impossible deadline: every completion event is a drop,
+  // nothing is ever aggregated — the engine must keep draining the queue,
+  // emit starvation records, and stop at max_rounds.
+  const SystemModel model = ImpossibleDeadlineModel(8);
+  const RunOutput run = RunWithModel(ExecutionMode::kAsync, &model, 6);
+  ASSERT_EQ(run.history.size(), 6);
+  double last_time = 0.0;
+  for (const RoundRecord& r : run.history.records()) {
+    EXPECT_EQ(r.num_selected, 0) << "round " << r.round;
+    EXPECT_TRUE(std::isnan(r.train_loss)) << "round " << r.round;
+    EXPECT_TRUE(std::isnan(r.staleness_mean)) << "round " << r.round;
+    EXPECT_GT(r.num_dropped, 0) << "round " << r.round;
+    EXPECT_EQ(r.upload_bytes, 0) << "round " << r.round;
+    EXPECT_GE(r.sim_seconds, last_time);
+    last_time = r.sim_seconds;
+  }
+}
+
+TEST(AllDroppedTest, StarvedEventModesLeaveThetaUntouched) {
+  // Sync and async starved runs share the seed, hence the same θ⁰; neither
+  // ever aggregates, so both must end at that exact model.
+  const SystemModel model = ImpossibleDeadlineModel(8);
+  const RunOutput sync_run = RunWithModel(ExecutionMode::kSync, &model, 4);
+  const RunOutput async_run = RunWithModel(ExecutionMode::kAsync, &model, 4);
+  const RunOutput buffered_run =
+      RunWithModel(ExecutionMode::kBuffered, &model, 4);
+  EXPECT_EQ(sync_run.theta, async_run.theta);
+  EXPECT_EQ(sync_run.theta, buffered_run.theta);
+}
+
+}  // namespace
+}  // namespace fedadmm

@@ -1,0 +1,122 @@
+// Regression for the downlink over-billing bug: Simulation used to bill
+// `download_bytes` for every selected client even when a client was
+// dropped under `deadline-drop` before its broadcast download completed.
+// The fleet can only be billed for bytes it actually received: dropped
+// clients pay the time-proportional fraction of the broadcast that was on
+// the wire by the cut-off.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "fl/algorithms/fedsgd.h"
+#include "fl/quadratic_problem.h"
+#include "fl/selection.h"
+#include "fl/simulation.h"
+#include "sys/system_model.h"
+
+namespace fedadmm {
+namespace {
+
+QuadraticSpec Spec() {
+  QuadraticSpec spec;
+  spec.num_clients = 2;
+  spec.dim = 10;
+  spec.seed = 5;
+  return spec;
+}
+
+ClientSystemProfile Profile(double steps_per_second, double up_bps,
+                            double down_bps) {
+  ClientSystemProfile p;
+  p.device.steps_per_second = steps_per_second;
+  p.network.upload_bytes_per_second = up_bps;
+  p.network.download_bytes_per_second = down_bps;
+  p.network.latency_seconds = 0.0;
+  return p;
+}
+
+// FedSGD pins the workload: exactly one "step" and a dim-sized payload per
+// client per round, so timings are closed-form.
+History RunTwoClientFleet(const SystemModel& model) {
+  QuadraticProblem problem(Spec());
+  FedSgd algo(0.05f);
+  UniformFractionSelector selector(2, 1.0);  // both clients every round
+  SimulationConfig config;
+  config.max_rounds = 3;
+  config.seed = 11;
+  Simulation sim(&problem, &algo, &selector, config);
+  sim.set_system_model(&model);
+  return std::move(sim.Run()).ValueOrDie();
+}
+
+TEST(DownloadBillingTest, DropBeforeDownloadCompletesBillsReceivedFraction) {
+  const int64_t payload = 10 * static_cast<int64_t>(sizeof(float));  // 40 B
+  // Client 0: download 1 s, compute 1 ms, upload 1 s — total ~2.001 s.
+  // Client 1: download alone takes 10 s.
+  std::vector<ClientSystemProfile> profiles = {
+      Profile(1000.0, static_cast<double>(payload),
+              static_cast<double>(payload)),
+      Profile(1000.0, static_cast<double>(payload),
+              static_cast<double>(payload) / 10.0)};
+  const SystemModel model(
+      FleetModel(std::move(profiles)),
+      MakeStragglerPolicy("deadline-drop", 5.0).ValueOrDie());
+
+  const History history = RunTwoClientFleet(model);
+  for (const RoundRecord& r : history.records()) {
+    ASSERT_EQ(r.num_selected, 2);
+    EXPECT_EQ(r.num_dropped, 1) << "round " << r.round;
+    // Client 0 pays the full broadcast; client 1 was cut off 5 s into a
+    // 10 s download — half the bytes reached it.
+    const int64_t expected = payload + std::llround(0.5 * payload);
+    EXPECT_EQ(r.download_bytes, expected) << "round " << r.round;
+    EXPECT_EQ(r.download_bytes_raw, expected) << "round " << r.round;
+    // Regression: the old accounting billed num_selected * payload.
+    EXPECT_LT(r.download_bytes, r.num_selected * payload);
+    // Only the admitted client's upload is billed.
+    EXPECT_EQ(r.upload_bytes, payload);
+  }
+}
+
+TEST(DownloadBillingTest, DropAfterDownloadStillBillsFullBroadcast) {
+  const int64_t payload = 10 * static_cast<int64_t>(sizeof(float));
+  // Client 1 downloads fast (0.1 s) but computes for 100 s: dropped, yet
+  // it received the whole broadcast and must pay for it.
+  std::vector<ClientSystemProfile> profiles = {
+      Profile(1000.0, static_cast<double>(payload),
+              static_cast<double>(payload)),
+      Profile(0.01, static_cast<double>(payload),
+              static_cast<double>(payload) * 10.0)};
+  const SystemModel model(
+      FleetModel(std::move(profiles)),
+      MakeStragglerPolicy("deadline-drop", 5.0).ValueOrDie());
+
+  const History history = RunTwoClientFleet(model);
+  for (const RoundRecord& r : history.records()) {
+    EXPECT_EQ(r.num_dropped, 1) << "round " << r.round;
+    EXPECT_EQ(r.download_bytes, 2 * payload) << "round " << r.round;
+  }
+}
+
+TEST(DownloadBillingTest, WaitForAllBillingIsUnchanged) {
+  const int64_t payload = 10 * static_cast<int64_t>(sizeof(float));
+  std::vector<ClientSystemProfile> profiles = {
+      Profile(1000.0, static_cast<double>(payload),
+              static_cast<double>(payload)),
+      Profile(1000.0, static_cast<double>(payload),
+              static_cast<double>(payload) / 10.0)};
+  const SystemModel model(
+      FleetModel(std::move(profiles)),
+      MakeStragglerPolicy("wait-for-all", -1.0).ValueOrDie());
+
+  const History history = RunTwoClientFleet(model);
+  for (const RoundRecord& r : history.records()) {
+    EXPECT_EQ(r.num_dropped, 0);
+    EXPECT_EQ(r.download_bytes, r.num_selected * payload);
+  }
+}
+
+}  // namespace
+}  // namespace fedadmm

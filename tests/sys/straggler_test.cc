@@ -68,6 +68,37 @@ TEST(DeadlineAdmitPartialTest, TransferBoundClientIsDropped) {
   EXPECT_DOUBLE_EQ(d.finish_seconds, 5.0);
 }
 
+TEST(DownloadFractionTest, CompletedDownloadBillsFullEvenWhenDropped) {
+  DeadlineDropPolicy policy(5.0);
+  // Download (1s) finished well before the 5s cut-off; compute overran.
+  const StragglerDecision d = policy.Judge(Timing(1.0, 20.0, 1.0));
+  EXPECT_EQ(d.fate, ClientFate::kDropped);
+  EXPECT_DOUBLE_EQ(d.download_fraction, 1.0);
+}
+
+TEST(DownloadFractionTest, MidDownloadDropBillsReceivedShare) {
+  DeadlineDropPolicy policy(5.0);
+  // The broadcast alone needs 20s; 5s of it fit — 25% received.
+  const StragglerDecision d = policy.Judge(Timing(20.0, 1.0, 1.0));
+  EXPECT_EQ(d.fate, ClientFate::kDropped);
+  EXPECT_DOUBLE_EQ(d.download_fraction, 0.25);
+}
+
+TEST(DownloadFractionTest, AdmitPartialDropAlsoReportsFraction) {
+  DeadlineAdmitPartialPolicy policy(5.0);
+  const StragglerDecision d = policy.Judge(Timing(10.0, 8.0, 3.0));
+  EXPECT_EQ(d.fate, ClientFate::kDropped);
+  EXPECT_DOUBLE_EQ(d.download_fraction, 0.5);
+}
+
+TEST(DownloadFractionTest, AdmittedClientsAlwaysReportFull) {
+  WaitForAllPolicy wait;
+  DeadlineAdmitPartialPolicy partial(5.0);
+  EXPECT_DOUBLE_EQ(wait.Judge(Timing(9.0, 9.0, 9.0)).download_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(partial.Judge(Timing(0.5, 8.0, 0.5)).download_fraction,
+                   1.0);
+}
+
 TEST(DeadlineAdmitPartialTest, AdmitsStrictlyMoreThanDrop) {
   // The differentiator the bench exercises: identical timings, different
   // policies — partial admission salvages what drop throws away.
