@@ -5,10 +5,17 @@
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/fedadmm.h"
+#include "fl/algorithm.h"
 #include "nn/model_zoo.h"
 #include "tensor/tensor_ops.h"
 #include "tensor/vec.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace fedadmm {
 namespace {
@@ -89,6 +96,76 @@ void BM_VecAxpy(benchmark::State& state) {
                           static_cast<int64_t>(d) * 2 * 4);
 }
 BENCHMARK(BM_VecAxpy)->Arg(4096)->Arg(1 << 17)->Arg(1663370);
+
+// The server-aggregation reduction: |S| deltas fused into θ in one blocked
+// pass. Arg0 = dim, Arg1 = number of vectors, Arg2 = pool threads (0 =
+// serial). Results are bitwise identical across all thread counts.
+void BM_AxpyMany(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const size_t count = static_cast<size_t>(state.range(1));
+  const int threads = static_cast<int>(state.range(2));
+  std::vector<std::vector<float>> xs;
+  for (size_t i = 0; i < count; ++i) xs.push_back(RandomVec(d, 20 + i));
+  std::vector<std::span<const float>> views(xs.begin(), xs.end());
+  auto y = RandomVec(d, 19);
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 0) pool = std::make_unique<ThreadPool>(threads);
+  for (auto _ : state) {
+    vec::AxpyMany(0.01f, views, y, pool.get());
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(d * (count + 2)) * 4);
+}
+BENCHMARK(BM_AxpyMany)
+    ->Args({1 << 17, 32, 0})
+    ->Args({1 << 17, 32, 4})
+    ->Args({1 << 17, 32, 8})
+    ->Args({1663370, 10, 0})
+    ->Args({1663370, 10, 8});
+
+void BM_BlockedMean(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  std::vector<std::vector<float>> xs;
+  for (size_t i = 0; i < 16; ++i) xs.push_back(RandomVec(d, 40 + i));
+  std::vector<std::span<const float>> views(xs.begin(), xs.end());
+  std::vector<float> out(d);
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 0) pool = std::make_unique<ThreadPool>(threads);
+  for (auto _ : state) {
+    vec::BlockedMean(views, out, pool.get());
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_BlockedMean)->Args({1 << 17, 0})->Args({1 << 17, 8});
+
+// The Eq.-20 diagnostic over all m clients: historically a scalar double
+// loop dividing y_[i][k] by ρ m·d times; now a hoisted-reciprocal blocked
+// reduction over store views. Arg0 = clients, Arg1 = dim, Arg2 = threads.
+void BM_MeanAugmentedModel(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const int64_t d = state.range(1);
+  const int threads = static_cast<int>(state.range(2));
+  FedAdmmOptions options;
+  options.rho = StepSchedule(0.5);
+  FedAdmm algo(options);
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 0) pool = std::make_unique<ThreadPool>(threads);
+  AlgorithmContext ctx;
+  ctx.num_clients = m;
+  ctx.dim = d;
+  ctx.reduce_pool = pool.get();
+  const auto theta0 = RandomVec(static_cast<size_t>(d), 12);
+  algo.Setup(ctx, theta0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algo.MeanAugmentedModel(0));
+  }
+  state.SetBytesProcessed(state.iterations() * 2 * m * d * 4);
+}
+BENCHMARK(BM_MeanAugmentedModel)
+    ->Args({256, 1 << 15, 0})
+    ->Args({256, 1 << 15, 8});
 
 void BM_VecDot(benchmark::State& state) {
   const size_t d = static_cast<size_t>(state.range(0));

@@ -8,19 +8,26 @@ void FedAdmm::Setup(const AlgorithmContext& ctx,
                     std::span<const float> theta0) {
   num_clients_ = ctx.num_clients;
   dim_ = ctx.dim;
+  reduce_pool_ = ctx.reduce_pool;
   // Canonical initialization (Section VII): w_i⁰ = θ⁰, y_i⁰ = 0, which makes
-  // θᵗ the exact mean of augmented models under η = |S|/m.
-  w_.assign(static_cast<size_t>(ctx.num_clients),
-            std::vector<float>(theta0.begin(), theta0.end()));
-  y_.assign(static_cast<size_t>(ctx.num_clients),
-            std::vector<float>(static_cast<size_t>(ctx.dim), 0.0f));
+  // θᵗ the exact mean of augmented models under η = |S|/m. Registered as
+  // slot initial values: sparse backends never pay for untouched clients.
+  std::vector<StateSlotSpec> slots(2);
+  slots[kSlotModel].dim = ctx.dim;
+  slots[kSlotModel].init.assign(theta0.begin(), theta0.end());
+  slots[kSlotDual].dim = ctx.dim;
+  auto store = MakeConfiguredClientStateStore(
+      ctx.state_store, options_.state_store, ctx.num_clients,
+      std::move(slots));
+  FEDADMM_CHECK_MSG(store.ok(), store.status().ToString());
+  store_ = std::move(store).ValueOrDie();
 }
 
 UpdateMessage FedAdmm::ClientUpdate(int client_id, int round,
                                     std::span<const float> theta,
                                     LocalProblem* problem, Rng rng) {
-  std::vector<float>& w_stored = w_[static_cast<size_t>(client_id)];
-  std::vector<float>& y = y_[static_cast<size_t>(client_id)];
+  std::span<float> w_stored = store_->MutableView(client_id, kSlotModel);
+  std::span<float> y = store_->MutableView(client_id, kSlotDual);
   const float rho = RhoAt(round);
   FEDADMM_CHECK_MSG(rho > 0.0f, "FedADMM requires rho > 0");
 
@@ -34,13 +41,13 @@ UpdateMessage FedAdmm::ClientUpdate(int client_id, int round,
   // Local initialization: warm start (I) vs download (II) — Fig. 8.
   std::vector<float> w =
       options_.init == FedAdmmOptions::LocalInit::kClientModel
-          ? w_stored
+          ? std::vector<float>(w_stored.begin(), w_stored.end())
           : std::vector<float>(theta.begin(), theta.end());
 
   // Minimize the augmented Lagrangian (3): g += y_i + ρ (w − θ).
   const bool frozen = options_.freeze_duals;
-  auto transform = [&y, rho, theta, frozen](std::span<const float> w_now,
-                                            std::span<float> grad) {
+  auto transform = [y, rho, theta, frozen](std::span<const float> w_now,
+                                           std::span<float> grad) {
     const size_t n = grad.size();
     if (frozen) {
       for (size_t i = 0; i < n; ++i) {
@@ -70,7 +77,8 @@ UpdateMessage FedAdmm::ClientUpdate(int client_id, int round,
   for (size_t i = 0; i < w.size(); ++i) {
     msg.delta[i] = (w[i] + y[i] / rho) - u_prev[i];
   }
-  w_stored = std::move(w);
+  vec::Copy(w, w_stored);
+  store_->Release(client_id);
 
   msg.train_loss = result.mean_loss;
   msg.epochs_run = result.epochs_run;
@@ -87,11 +95,13 @@ void FedAdmm::ServerUpdate(const std::vector<UpdateMessage>& updates,
           ? static_cast<float>(updates.size()) /
                 static_cast<float>(num_clients_)
           : static_cast<float>(options_.eta.At(round));
-  // Tracking update (Eq. 5): θ ← θ + (η/|S_t|) Σ Δ_i.
+  // Tracking update (Eq. 5): θ ← θ + (η/|S_t|) Σ Δ_i, as one fused blocked
+  // pass (bitwise identical to the per-message Axpy loop).
   const float step = eta / static_cast<float>(updates.size());
-  for (const UpdateMessage& msg : updates) {
-    vec::Axpy(step, msg.delta, *theta);
-  }
+  std::vector<std::span<const float>> deltas;
+  deltas.reserve(updates.size());
+  for (const UpdateMessage& msg : updates) deltas.push_back(msg.delta);
+  vec::AxpyMany(step, deltas, *theta, reduce_pool_);
 }
 
 void FedAdmm::AggregateOne(UpdateMessage msg, int round, int staleness,
@@ -105,17 +115,42 @@ void FedAdmm::AggregateOne(UpdateMessage msg, int round, int staleness,
   vec::Axpy(eta, msg.delta, *theta);
 }
 
+Status FedAdmm::ValidateForEventMode() const {
+  if (options_.eta_active_fraction) return Status::OK();
+  return Status::InvalidArgument(
+      "FedADMM: buffered/async modes aggregate 1 or K ≪ m updates per step; "
+      "a fixed η schedule (eta_active_fraction=false) overshoots the "
+      "tracking update m/|S_t|-fold. Set "
+      "FedAdmmOptions::eta_active_fraction=true (η = |S_t|/m) or run "
+      "ExecutionMode::kSync");
+}
+
+int64_t FedAdmm::StateBytesResident() const {
+  return store_ ? store_->bytes_resident() : 0;
+}
+
 std::vector<float> FedAdmm::MeanAugmentedModel(int round) const {
-  FEDADMM_CHECK(!w_.empty());
+  FEDADMM_CHECK(store_ != nullptr && store_->num_clients() > 0);
   const float rho = RhoAt(round);
-  std::vector<float> mean(w_[0].size(), 0.0f);
-  for (size_t i = 0; i < w_.size(); ++i) {
-    for (size_t k = 0; k < mean.size(); ++k) {
-      mean[k] += w_[i][k] + y_[i][k] / rho;
-    }
+  // Hoisted reciprocal: one divide for the whole reduction instead of one
+  // per (client, coordinate) — the historical scalar loop divided m·d
+  // times.
+  const float inv_rho = 1.0f / rho;
+  const int m = store_->num_clients();
+  std::vector<std::span<const float>> ws;
+  std::vector<std::span<const float>> ys;
+  ws.reserve(static_cast<size_t>(m));
+  ys.reserve(static_cast<size_t>(m));
+  for (int i = 0; i < m; ++i) {
+    ws.push_back(store_->View(i, kSlotModel));
+    ys.push_back(store_->View(i, kSlotDual));
   }
-  const float inv_m = 1.0f / static_cast<float>(w_.size());
-  for (float& v : mean) v *= inv_m;
+  // mean(u) = mean(w) + (1/(mρ)) Σ y — two blocked pool-parallel passes.
+  std::vector<float> mean(ws[0].size());
+  vec::BlockedMean(ws, mean, reduce_pool_);
+  vec::AxpyMany(inv_rho / static_cast<float>(m), ys, mean, reduce_pool_);
+  // Drop any hot decode cache the views pulled in (quantized backend).
+  for (int i = 0; i < m; ++i) store_->Release(i);
   return mean;
 }
 

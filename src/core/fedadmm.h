@@ -27,11 +27,14 @@
 #ifndef FEDADMM_CORE_FEDADMM_H_
 #define FEDADMM_CORE_FEDADMM_H_
 
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "core/schedules.h"
 #include "fl/algorithm.h"
 #include "fl/local_solver.h"
+#include "state/client_state_store.h"
 
 namespace fedadmm {
 
@@ -69,6 +72,11 @@ struct FedAdmmOptions {
   /// Ablation: freeze y_i ≡ 0. The local subproblem then reduces to
   /// FedProx's (and to FedAvg's when additionally ρ = 0) — Section III-B.
   bool freeze_duals = false;
+
+  /// Backend for the per-client (w_i, y_i) pairs (src/state):
+  /// "dense" | "lazy" | "quantized:<b>". Overridden by
+  /// `SimulationConfig::state_store` when that is non-empty.
+  std::string state_store = "dense";
 };
 
 /// \brief The FedADMM algorithm.
@@ -92,29 +100,50 @@ class FedAdmm : public FederatedAlgorithm {
   void AggregateOne(UpdateMessage msg, int round, int staleness,
                     std::vector<float>* theta) override;
 
+  /// Fails event-mode runs unless η = |S_t|/m is on: a singleton async
+  /// batch (or a K ≪ m buffer) at a fixed η overshoots the tracking
+  /// update m/|S_t|-fold — the PR 4 footgun, now a fast, clear error.
+  Status ValidateForEventMode() const override;
+
+  /// Resident bytes of the (w_i, y_i) store.
+  int64_t StateBytesResident() const override;
+
+  /// Fallback when `SimulationConfig::state_store` is empty.
+  std::string DefaultStateStoreSpec() const override {
+    return options_.state_store;
+  }
+
   /// ρ in effect at `round`.
   float RhoAt(int round) const {
     return static_cast<float>(options_.rho.At(round));
   }
 
-  /// Stored client model w_i (tests/diagnostics).
-  const std::vector<float>& client_model(int i) const {
-    return w_[static_cast<size_t>(i)];
+  /// Stored client model w_i (tests/diagnostics). A view into the state
+  /// store: untouched clients read the canonical initialization θ⁰.
+  std::span<const float> client_model(int i) const {
+    return store_->View(i, kSlotModel);
   }
   /// Stored dual variable y_i (tests/diagnostics).
-  const std::vector<float>& client_dual(int i) const {
-    return y_[static_cast<size_t>(i)];
+  std::span<const float> client_dual(int i) const {
+    return store_->View(i, kSlotDual);
   }
   /// Mean of all m augmented models u_i = w_i + y_i/ρ at the given round's
-  /// ρ — equals θ when η = |S|/m (Eq. 20), a tested invariant.
+  /// ρ — equals θ when η = |S|/m (Eq. 20), a tested invariant. Runs on the
+  /// blocked reduction kernels; O(m·d), diagnostics only.
   std::vector<float> MeanAugmentedModel(int round) const;
 
   const FedAdmmOptions& options() const { return options_; }
 
+  /// The underlying client-state store (tests/diagnostics).
+  const ClientStateStore& state_store() const { return *store_; }
+
  private:
+  /// Store slots: client primal iterate w_i and dual variable y_i.
+  static constexpr int kSlotModel = 0;
+  static constexpr int kSlotDual = 1;
+
   FedAdmmOptions options_;
-  std::vector<std::vector<float>> w_;  ///< client primal iterates
-  std::vector<std::vector<float>> y_;  ///< client dual variables
+  std::unique_ptr<ClientStateStore> store_;
 };
 
 }  // namespace fedadmm

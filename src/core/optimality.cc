@@ -17,8 +17,8 @@ OptimalityGap ComputeOptimalityGap(FederatedProblem* problem,
   std::vector<float> grad(static_cast<size_t>(d));
 
   for (int i = 0; i < m; ++i) {
-    const std::vector<float>& w = algorithm.client_model(i);
-    const std::vector<float>& y = algorithm.client_dual(i);
+    const std::span<const float> w = algorithm.client_model(i);
+    const std::span<const float> y = algorithm.client_dual(i);
     auto local = problem->MakeLocalProblem(i, /*worker=*/0);
     local->FullLossGradient(w, grad);
 
@@ -34,6 +34,8 @@ OptimalityGap ComputeOptimalityGap(FederatedProblem* problem,
     }
     gap.grad_w_sq += grad_w_sq;
     gap.consensus_sq += consensus_sq;
+    // Drop any hot decode cache the views pulled in (quantized backend).
+    algorithm.state_store().Release(i);
   }
   for (double v : grad_theta) gap.grad_theta_sq += v * v;
   return gap;

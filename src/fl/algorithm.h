@@ -14,10 +14,21 @@
 
 namespace fedadmm {
 
+class ThreadPool;
+
 /// \brief Static facts an algorithm needs before the first round.
 struct AlgorithmContext {
   int num_clients = 0;
   int64_t dim = 0;
+  /// Client-state backend spec for stateful algorithms (src/state —
+  /// "dense" | "lazy" | "quantized:<b>"). Empty keeps the algorithm's own
+  /// default. Stateless algorithms ignore it.
+  std::string state_store;
+  /// Optional worker pool for blocked server-side reductions
+  /// (tensor/vec AxpyMany / BlockedMean). Borrowed; may be nullptr
+  /// (serial). The engine lends its client-phase pool, which is idle
+  /// whenever ServerUpdate / AggregateOne runs.
+  ThreadPool* reduce_pool = nullptr;
 };
 
 /// \brief A federated optimization method (server + client logic).
@@ -72,10 +83,29 @@ class FederatedAlgorithm {
     return dim_ * static_cast<int64_t>(sizeof(float));
   }
 
+  /// Bytes of server-visible per-client state currently resident
+  /// (src/state ClientStateStore accounting). 0 for stateless methods.
+  /// Surfaced per round as `RoundRecord::state_bytes_resident`.
+  virtual int64_t StateBytesResident() const { return 0; }
+
+  /// The state-store spec this method falls back to when
+  /// `AlgorithmContext::state_store` is empty ("" for stateless methods).
+  /// The engine probes the effective spec before Setup so a bad one fails
+  /// fast with a Status instead of a CHECK mid-initialization.
+  virtual std::string DefaultStateStoreSpec() const { return ""; }
+
+  /// Pre-flight check the engine runs before buffered / async execution.
+  /// Methods whose aggregation semantics break under per-arrival or
+  /// small-batch updates return InvalidArgument here so the run fails
+  /// fast instead of silently diverging (or crashing mid-run).
+  virtual Status ValidateForEventMode() const { return Status::OK(); }
+
  protected:
   /// Cached from Setup for the default byte accounting.
   int num_clients_ = 0;
   int64_t dim_ = 0;
+  /// Cached from Setup: pool for blocked reductions (may be nullptr).
+  ThreadPool* reduce_pool_ = nullptr;
 };
 
 }  // namespace fedadmm

@@ -8,10 +8,16 @@ void FedPd::Setup(const AlgorithmContext& ctx,
                   std::span<const float> theta0) {
   num_clients_ = ctx.num_clients;
   dim_ = ctx.dim;
-  w_.assign(static_cast<size_t>(ctx.num_clients),
-            std::vector<float>(theta0.begin(), theta0.end()));
-  y_.assign(static_cast<size_t>(ctx.num_clients),
-            std::vector<float>(static_cast<size_t>(ctx.dim), 0.0f));
+  reduce_pool_ = ctx.reduce_pool;
+  std::vector<StateSlotSpec> slots(2);
+  slots[kSlotModel].dim = ctx.dim;
+  slots[kSlotModel].init.assign(theta0.begin(), theta0.end());
+  slots[kSlotDual].dim = ctx.dim;
+  auto store = MakeConfiguredClientStateStore(
+      ctx.state_store, DefaultStateStoreSpec(), ctx.num_clients,
+      std::move(slots));
+  FEDADMM_CHECK_MSG(store.ok(), store.status().ToString());
+  store_ = std::move(store).ValueOrDie();
   comm_rounds_ = 0;
   // Decide the first round's communication coin up front; subsequent coins
   // are flipped in ServerUpdate so ClientUpdate can see a consistent value.
@@ -22,13 +28,13 @@ UpdateMessage FedPd::ClientUpdate(int client_id, int round,
                                   std::span<const float> theta,
                                   LocalProblem* problem, Rng rng) {
   (void)round;
-  std::vector<float>& w = w_[static_cast<size_t>(client_id)];
-  std::vector<float>& y = y_[static_cast<size_t>(client_id)];
+  std::span<float> w = store_->MutableView(client_id, kSlotModel);
+  std::span<float> y = store_->MutableView(client_id, kSlotDual);
   const float rho = rho_;
 
   // Warm-start from the stored local model; anchor to the *current* θ.
-  auto transform = [&y, rho, theta](std::span<const float> w_now,
-                                    std::span<float> grad) {
+  auto transform = [y, rho, theta](std::span<const float> w_now,
+                                   std::span<float> grad) {
     const size_t n = grad.size();
     for (size_t i = 0; i < n; ++i) {
       grad[i] += y[i] + rho * (w_now[i] - theta[i]);
@@ -55,6 +61,7 @@ UpdateMessage FedPd::ClientUpdate(int client_id, int round,
       msg.delta[i] = w[i] + y[i] / rho;
     }
   }
+  store_->Release(client_id);
   return msg;
 }
 
@@ -66,9 +73,10 @@ void FedPd::ServerUpdate(const std::vector<UpdateMessage>& updates, int round,
                       "FedPD requires full participation");
     vec::Zero(*theta);
     const float inv_m = 1.0f / static_cast<float>(num_clients_);
-    for (const UpdateMessage& msg : updates) {
-      vec::Axpy(inv_m, msg.delta, *theta);
-    }
+    std::vector<std::span<const float>> deltas;
+    deltas.reserve(updates.size());
+    for (const UpdateMessage& msg : updates) deltas.push_back(msg.delta);
+    vec::AxpyMany(inv_m, deltas, *theta, reduce_pool_);
     ++comm_rounds_;
   }
   communicate_this_round_ = coin_rng_.Bernoulli(comm_probability_);
@@ -83,6 +91,17 @@ void FedPd::AggregateOne(UpdateMessage msg, int round, int staleness,
   FEDADMM_CHECK_MSG(false,
                     "FedPD requires full participation and cannot aggregate "
                     "per-update; use ExecutionMode::kSync");
+}
+
+Status FedPd::ValidateForEventMode() const {
+  return Status::InvalidArgument(
+      "FedPD aggregates θ = (1/m) Σ (w_i + y_i/ρ) over the full population; "
+      "buffered/async partial batches cannot form that mean. Use "
+      "ExecutionMode::kSync with FullParticipationSelector");
+}
+
+int64_t FedPd::StateBytesResident() const {
+  return store_ ? store_->bytes_resident() : 0;
 }
 
 }  // namespace fedadmm

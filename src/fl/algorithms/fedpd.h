@@ -19,8 +19,11 @@
 #ifndef FEDADMM_FL_ALGORITHMS_FEDPD_H_
 #define FEDADMM_FL_ALGORITHMS_FEDPD_H_
 
+#include <memory>
+
 #include "fl/algorithm.h"
 #include "fl/local_solver.h"
+#include "state/client_state_store.h"
 
 namespace fedadmm {
 
@@ -50,10 +53,24 @@ class FedPd : public FederatedAlgorithm {
   void AggregateOne(UpdateMessage msg, int round, int staleness,
                     std::vector<float>* theta) override;
 
+  /// Event modes fail fast: partial batches cannot form the full-population
+  /// mean FedPD's server step requires.
+  Status ValidateForEventMode() const override;
+
+  /// Resident bytes of the (w_i, y_i) store.
+  int64_t StateBytesResident() const override;
+
+  /// Fallback when `SimulationConfig::state_store` is empty.
+  std::string DefaultStateStoreSpec() const override { return "dense"; }
+
   /// Number of aggregation (communication) rounds so far.
   int communication_rounds() const { return comm_rounds_; }
 
  private:
+  /// Store slots: client primal iterate w_i and dual variable y_i.
+  static constexpr int kSlotModel = 0;
+  static constexpr int kSlotDual = 1;
+
   LocalTrainSpec local_;
   float rho_;
   double comm_probability_;
@@ -62,8 +79,7 @@ class FedPd : public FederatedAlgorithm {
   bool communicate_this_round_ = false;
 
   /// Per-client primal/dual state (persistent across rounds).
-  std::vector<std::vector<float>> w_;
-  std::vector<std::vector<float>> y_;
+  std::unique_ptr<ClientStateStore> store_;
 };
 
 }  // namespace fedadmm

@@ -9,6 +9,7 @@ void FedSgd::Setup(const AlgorithmContext& ctx,
   (void)theta0;
   num_clients_ = ctx.num_clients;
   dim_ = ctx.dim;
+  reduce_pool_ = ctx.reduce_pool;
 }
 
 UpdateMessage FedSgd::ClientUpdate(int client_id, int round,
@@ -32,9 +33,10 @@ void FedSgd::ServerUpdate(const std::vector<UpdateMessage>& updates,
   FEDADMM_CHECK(!updates.empty());
   const float step =
       -learning_rate_ / static_cast<float>(updates.size());
-  for (const UpdateMessage& msg : updates) {
-    vec::Axpy(step, msg.delta, *theta);
-  }
+  std::vector<std::span<const float>> deltas;
+  deltas.reserve(updates.size());
+  for (const UpdateMessage& msg : updates) deltas.push_back(msg.delta);
+  vec::AxpyMany(step, deltas, *theta, reduce_pool_);
 }
 
 }  // namespace fedadmm

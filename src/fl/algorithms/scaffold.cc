@@ -9,23 +9,31 @@ void Scaffold::Setup(const AlgorithmContext& ctx,
   (void)theta0;
   num_clients_ = ctx.num_clients;
   dim_ = ctx.dim;
+  reduce_pool_ = ctx.reduce_pool;
   server_c_.assign(static_cast<size_t>(dim_), 0.0f);
-  client_c_.assign(static_cast<size_t>(ctx.num_clients),
-                   std::vector<float>(static_cast<size_t>(dim_), 0.0f));
+  // Controls are zero-initialized as the paper recommends — the slot
+  // default, so sparse backends keep untouched clients free.
+  std::vector<StateSlotSpec> slots(1);
+  slots[kSlotControl].dim = ctx.dim;
+  auto store = MakeConfiguredClientStateStore(
+      ctx.state_store, DefaultStateStoreSpec(), ctx.num_clients,
+      std::move(slots));
+  FEDADMM_CHECK_MSG(store.ok(), store.status().ToString());
+  store_ = std::move(store).ValueOrDie();
 }
 
 UpdateMessage Scaffold::ClientUpdate(int client_id, int round,
                                      std::span<const float> theta,
                                      LocalProblem* problem, Rng rng) {
   (void)round;
-  std::vector<float>& c_i = client_c_[static_cast<size_t>(client_id)];
+  std::span<float> c_i = store_->MutableView(client_id, kSlotControl);
   const std::vector<float>& c = server_c_;
 
   std::vector<float> w(theta.begin(), theta.end());
   const int epochs = SampleEpochs(local_, &rng);
   // grad += c - c_i (variance-reduction correction).
-  auto transform = [&c, &c_i](std::span<const float> w_now,
-                              std::span<float> grad) {
+  auto transform = [&c, c_i](std::span<const float> w_now,
+                             std::span<float> grad) {
     (void)w_now;
     const size_t n = grad.size();
     for (size_t i = 0; i < n; ++i) grad[i] += c[i] - c_i[i];
@@ -47,7 +55,8 @@ UpdateMessage Scaffold::ClientUpdate(int client_id, int round,
   }
   msg.delta2.resize(c_i.size());
   vec::Sub(c_i_new, c_i, msg.delta2);
-  c_i = std::move(c_i_new);
+  vec::Copy(c_i_new, c_i);
+  store_->Release(client_id);
 
   msg.train_loss = result.mean_loss;
   msg.epochs_run = result.epochs_run;
@@ -61,18 +70,26 @@ void Scaffold::ServerUpdate(const std::vector<UpdateMessage>& updates,
   (void)round;
   FEDADMM_CHECK(!updates.empty());
   const float inv_s = 1.0f / static_cast<float>(updates.size());
-  // θ += η_g * avg(Δw)
-  for (const UpdateMessage& msg : updates) {
-    vec::Axpy(server_lr_ * inv_s, msg.delta, *theta);
-  }
-  // c += (|S|/m) * avg(Δc)
-  const float scale = static_cast<float>(updates.size()) /
-                      static_cast<float>(num_clients_) * inv_s;
+  std::vector<std::span<const float>> deltas;
+  std::vector<std::span<const float>> control_deltas;
+  deltas.reserve(updates.size());
+  control_deltas.reserve(updates.size());
   for (const UpdateMessage& msg : updates) {
     FEDADMM_CHECK_MSG(!msg.delta2.empty(),
                       "SCAFFOLD requires control deltas in messages");
-    vec::Axpy(scale, msg.delta2, server_c_);
+    deltas.push_back(msg.delta);
+    control_deltas.push_back(msg.delta2);
   }
+  // θ += η_g * avg(Δw)
+  vec::AxpyMany(server_lr_ * inv_s, deltas, *theta, reduce_pool_);
+  // c += (|S|/m) * avg(Δc)
+  const float scale = static_cast<float>(updates.size()) /
+                      static_cast<float>(num_clients_) * inv_s;
+  vec::AxpyMany(scale, control_deltas, server_c_, reduce_pool_);
+}
+
+int64_t Scaffold::StateBytesResident() const {
+  return store_ ? store_->bytes_resident() : 0;
 }
 
 }  // namespace fedadmm

@@ -4,8 +4,11 @@
 #ifndef FEDADMM_FL_ALGORITHMS_SCAFFOLD_H_
 #define FEDADMM_FL_ALGORITHMS_SCAFFOLD_H_
 
+#include <memory>
+
 #include "fl/algorithm.h"
 #include "fl/local_solver.h"
+#include "state/client_state_store.h"
 
 namespace fedadmm {
 
@@ -44,18 +47,28 @@ class Scaffold : public FederatedAlgorithm {
     return 2 * dim_ * static_cast<int64_t>(sizeof(float));
   }
 
+  /// Resident bytes of the client-control store.
+  int64_t StateBytesResident() const override;
+
+  /// Fallback when `SimulationConfig::state_store` is empty.
+  std::string DefaultStateStoreSpec() const override { return "dense"; }
+
   /// Server control variate (tests).
   const std::vector<float>& server_control() const { return server_c_; }
-  /// Client control variate (tests).
-  const std::vector<float>& client_control(int i) const {
-    return client_c_[static_cast<size_t>(i)];
+  /// Client control variate (tests). A state-store view: untouched clients
+  /// read the zero initialization.
+  std::span<const float> client_control(int i) const {
+    return store_->View(i, kSlotControl);
   }
 
  private:
+  /// Store slot: the client control variate c_i.
+  static constexpr int kSlotControl = 0;
+
   LocalTrainSpec local_;
   float server_lr_;
   std::vector<float> server_c_;
-  std::vector<std::vector<float>> client_c_;
+  std::unique_ptr<ClientStateStore> store_;
 };
 
 }  // namespace fedadmm

@@ -40,6 +40,11 @@ class ClientExecutor {
 
   int num_threads() const { return pool_.num_threads(); }
 
+  /// The worker pool, idle between waves — the engine lends it to the
+  /// algorithm for blocked server-side reductions (AlgorithmContext::
+  /// reduce_pool).
+  ThreadPool* pool() { return &pool_; }
+
  private:
   FederatedProblem* problem_;
   FederatedAlgorithm* algorithm_;

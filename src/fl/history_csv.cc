@@ -46,7 +46,8 @@ const std::vector<std::string>& RoundCsvColumns() {
           {"round", "num_selected", "train_loss", "test_accuracy",
            "test_loss", "upload_bytes", "download_bytes", "upload_bytes_raw",
            "download_bytes_raw", "wall_seconds", "sim_seconds", "num_dropped",
-           "num_admitted_partial", "staleness_mean", "staleness_max"});
+           "num_admitted_partial", "staleness_mean", "staleness_max",
+           "state_bytes_resident"});
   return *kColumns;
 }
 
@@ -65,7 +66,8 @@ std::vector<std::string> RoundCsvRow(const RoundRecord& r) {
           FormatInt(r.num_dropped),
           FormatInt(r.num_admitted_partial),
           FormatDouble(r.staleness_mean),
-          FormatInt(r.staleness_max)};
+          FormatInt(r.staleness_max),
+          FormatInt(r.state_bytes_resident)};
 }
 
 Result<RoundRecord> RoundFromCsvRow(const std::vector<std::string>& fields) {
@@ -97,6 +99,7 @@ Result<RoundRecord> RoundFromCsvRow(const std::vector<std::string>& fields) {
   FEDADMM_ASSIGN_OR_RETURN(r.staleness_mean, ParseDouble(fields[i++]));
   FEDADMM_ASSIGN_OR_RETURN(const int64_t stale_max, ParseInt(fields[i++]));
   r.staleness_max = static_cast<int>(stale_max);
+  FEDADMM_ASSIGN_OR_RETURN(r.state_bytes_resident, ParseInt(fields[i++]));
   return r;
 }
 

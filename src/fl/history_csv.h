@@ -3,7 +3,8 @@
 /// the benches and the examples.
 ///
 /// Every consumer used to hand-roll its own header/row writing; by the
-/// time the schema grew to 15 columns the copies had started to drift.
+/// time the schema grew past a dozen columns the copies had started to
+/// drift.
 /// This file owns the one column list and the one formatter:
 ///
 ///   * `RoundCsvColumns()` / `RoundCsvRow()` — the canonical RoundRecord

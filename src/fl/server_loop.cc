@@ -5,6 +5,7 @@
 #include <limits>
 #include <utility>
 
+#include "state/client_state_store.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
@@ -67,6 +68,11 @@ void ServerLoop::InitializeModel() {
   AlgorithmContext ctx;
   ctx.num_clients = problem_->num_clients();
   ctx.dim = problem_->dim();
+  ctx.state_store = config_.state_store;
+  // Lend the client-phase pool for blocked server-side reductions: it is
+  // idle whenever ServerUpdate / AggregateOne runs (waves are joined before
+  // aggregation in every mode).
+  ctx.reduce_pool = executor_.pool();
   algorithm_->Setup(ctx, theta_);
 }
 
@@ -84,6 +90,9 @@ bool ServerLoop::FinalizeRecord(RoundRecord record, Stopwatch* watch,
     record.test_loss = std::numeric_limits<double>::quiet_NaN();
   }
   record.wall_seconds = watch->ElapsedSeconds();
+  // Stamp the state-cost surface: what the algorithm's per-client store
+  // holds resident at the end of this round.
+  record.state_bytes_resident = algorithm_->StateBytesResident();
   watch->Reset();
   history->Add(record);
   if (observer_ && *observer_) (*observer_)(record);
@@ -115,12 +124,26 @@ Result<History> ServerLoop::Run() {
   if (config_.eval_every < 1) {
     return Status::InvalidArgument("Simulation: eval_every must be >= 1");
   }
+  // Fail fast on a bad spec — config-level or algorithm-default — since
+  // Setup runs deep inside the first round and can only CHECK.
+  const std::string effective_store = config_.state_store.empty()
+                                          ? algorithm_->DefaultStateStoreSpec()
+                                          : config_.state_store;
+  if (!effective_store.empty()) {
+    auto probe = MakeClientStateStore(effective_store);
+    if (!probe.ok()) return probe.status();
+  }
   if (config_.mode == ExecutionMode::kSync) return RunSync();
   if (system_model_ == nullptr) {
     return Status::InvalidArgument(
         "Simulation: mode '" + ExecutionModeName(config_.mode) +
         "' needs a system model (event times come from the virtual clock)");
   }
+  // Let methods whose aggregation semantics break under per-arrival or
+  // small-batch updates reject the run up front (FedADMM with a fixed η
+  // silently overshoots m-fold; FedPD cannot form its full-population
+  // mean).
+  FEDADMM_RETURN_IF_ERROR(algorithm_->ValidateForEventMode());
   return RunEventDriven();
 }
 

@@ -82,6 +82,13 @@ struct SimulationConfig {
   /// Staleness discount applied to late updates in buffered/async modes
   /// (fl/staleness.h); null means constant 1 (no discount).
   StalenessWeightFn staleness_weight;
+  /// Client-state backend for stateful algorithms (src/state):
+  /// "dense" | "lazy" | "quantized:<b>". Empty keeps each algorithm's own
+  /// default (dense). `lazy` and `quantized` keep resident state
+  /// proportional to the *touched* client population — the lever that
+  /// makes 100k-client fleets affordable under 1% participation; see
+  /// `RoundRecord::state_bytes_resident` and bench_state_scale.
+  std::string state_store;
 };
 
 /// \brief Optional per-round observer (round index, record) — benches use it

@@ -82,6 +82,11 @@ struct RoundRecord {
   /// every update is fresh; NaN mean when the record aggregated nothing.
   double staleness_mean = 0.0;
   int staleness_max = 0;
+  /// Bytes of server-visible per-client algorithm state resident at the
+  /// end of this round (src/state ClientStateStore accounting; 0 for
+  /// stateless methods). `dense` backends sit at m·d prices from round 0;
+  /// `lazy`/`quantized` track the touched population.
+  int64_t state_bytes_resident = 0;
 };
 
 /// \brief The full trajectory of one federated run.

@@ -1,0 +1,55 @@
+#include "state/client_state_store.h"
+
+#include <cstdlib>
+
+#include "state/dense_store.h"
+#include "state/lazy_store.h"
+#include "state/quantized_store.h"
+
+namespace fedadmm {
+namespace {
+
+constexpr char kQuantizedPrefix[] = "quantized:";
+
+}  // namespace
+
+Result<std::unique_ptr<ClientStateStore>> MakeClientStateStore(
+    const std::string& spec) {
+  if (spec == "dense") return {std::make_unique<DenseStateStore>()};
+  if (spec == "lazy") return {std::make_unique<LazyStateStore>()};
+  if (spec.rfind(kQuantizedPrefix, 0) == 0) {
+    const std::string arg = spec.substr(sizeof(kQuantizedPrefix) - 1);
+    char* end = nullptr;
+    const long bits = std::strtol(arg.c_str(), &end, 10);
+    if (arg.empty() || end == nullptr || *end != '\0' ||
+        !((bits >= 1 && bits <= 16) || bits == 32)) {
+      return Status::InvalidArgument(
+          "MakeClientStateStore: bad quantized bits '" + arg +
+          "' (want 1..16 or 32)");
+    }
+    return {std::make_unique<QuantizedStateStore>(static_cast<int>(bits))};
+  }
+  return Status::InvalidArgument(
+      "MakeClientStateStore: unknown spec '" + spec +
+      "' (want dense | lazy | quantized:<bits>)");
+}
+
+Result<std::unique_ptr<ClientStateStore>> MakeConfiguredClientStateStore(
+    const std::string& override_spec, const std::string& fallback_spec,
+    int num_clients, std::vector<StateSlotSpec> slots) {
+  const std::string& spec =
+      override_spec.empty() ? fallback_spec : override_spec;
+  FEDADMM_ASSIGN_OR_RETURN(std::unique_ptr<ClientStateStore> store,
+                           MakeClientStateStore(spec));
+  store->Configure(num_clients, std::move(slots));
+  return {std::move(store)};
+}
+
+const std::vector<std::string>& ClientStateStoreExampleSpecs() {
+  static const std::vector<std::string>* const kSpecs =
+      new std::vector<std::string>(
+          {"dense", "lazy", "quantized:8", "quantized:32"});
+  return *kSpecs;
+}
+
+}  // namespace fedadmm

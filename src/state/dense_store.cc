@@ -1,0 +1,67 @@
+#include "state/dense_store.h"
+
+#include <cstring>
+
+namespace fedadmm {
+
+void DenseStateStore::Configure(int num_clients,
+                                std::vector<StateSlotSpec> specs) {
+  FEDADMM_CHECK_MSG(num_clients > 0, "DenseStateStore: num_clients > 0");
+  num_clients_ = num_clients;
+  slots_.clear();
+  slots_.reserve(specs.size());
+  for (StateSlotSpec& spec : specs) {
+    FEDADMM_CHECK_MSG(spec.dim > 0, "DenseStateStore: slot dim > 0");
+    FEDADMM_CHECK_MSG(
+        spec.init.empty() ||
+            spec.init.size() == static_cast<size_t>(spec.dim),
+        "DenseStateStore: init size must match slot dim");
+    Slot slot;
+    slot.dim = spec.dim;
+    const size_t dim = static_cast<size_t>(spec.dim);
+    slot.arena.assign(static_cast<size_t>(num_clients) * dim, 0.0f);
+    if (!spec.init.empty()) {
+      for (int c = 0; c < num_clients; ++c) {
+        std::memcpy(slot.arena.data() + static_cast<size_t>(c) * dim,
+                    spec.init.data(), dim * sizeof(float));
+      }
+    }
+    slots_.push_back(std::move(slot));
+  }
+}
+
+std::span<const float> DenseStateStore::View(int client_id, int slot) const {
+  const Slot& s = slots_[static_cast<size_t>(slot)];
+  return {s.arena.data() +
+              static_cast<size_t>(client_id) * static_cast<size_t>(s.dim),
+          static_cast<size_t>(s.dim)};
+}
+
+std::span<float> DenseStateStore::MutableView(int client_id, int slot) {
+  Slot& s = slots_[static_cast<size_t>(slot)];
+  return {s.arena.data() +
+              static_cast<size_t>(client_id) * static_cast<size_t>(s.dim),
+          static_cast<size_t>(s.dim)};
+}
+
+void DenseStateStore::Release(int client_id) const { (void)client_id; }
+
+void DenseStateStore::ForEachTouched(
+    const TouchedStateVisitor& visitor) const {
+  for (int c = 0; c < num_clients_; ++c) {
+    for (int s = 0; s < num_slots(); ++s) {
+      visitor(c, s, View(c, s));
+    }
+  }
+}
+
+int64_t DenseStateStore::bytes_resident() const {
+  int64_t bytes = 0;
+  for (const Slot& s : slots_) {
+    bytes += static_cast<int64_t>(s.arena.size()) *
+             static_cast<int64_t>(sizeof(float));
+  }
+  return bytes;
+}
+
+}  // namespace fedadmm

@@ -1,0 +1,140 @@
+#include "state/quantized_store.h"
+
+#include <cstring>
+#include <utility>
+
+#include "comm/identity.h"
+#include "comm/quantize.h"
+
+namespace fedadmm {
+
+QuantizedStateStore::QuantizedStateStore(int bits) : bits_(bits) {
+  FEDADMM_CHECK_MSG((bits >= 1 && bits <= 16) || bits == 32,
+                    "QuantizedStateStore: bits in 1..16 or 32");
+  if (bits == 32) {
+    codec_ = std::make_unique<IdentityCodec>();
+  } else {
+    codec_ = std::make_unique<UniformQuantCodec>(bits);
+  }
+}
+
+std::string QuantizedStateStore::name() const {
+  return "quantized:" + std::to_string(bits_);
+}
+
+void QuantizedStateStore::Configure(int num_clients,
+                                    std::vector<StateSlotSpec> specs) {
+  FEDADMM_CHECK_MSG(num_clients > 0, "QuantizedStateStore: num_clients > 0");
+  num_clients_ = num_clients;
+  slots_.clear();
+  slots_.reserve(specs.size());
+  for (StateSlotSpec& spec : specs) {
+    FEDADMM_CHECK_MSG(spec.dim > 0, "QuantizedStateStore: slot dim > 0");
+    FEDADMM_CHECK_MSG(
+        spec.init.empty() ||
+            spec.init.size() == static_cast<size_t>(spec.dim),
+        "QuantizedStateStore: init size must match slot dim");
+    Slot slot;
+    slot.dim = spec.dim;
+    slot.init = std::move(spec.init);
+    if (slot.init.empty()) {
+      slot.init.assign(static_cast<size_t>(spec.dim), 0.0f);
+    }
+    slot.cold.resize(static_cast<size_t>(num_clients));
+    slot.hot.resize(static_cast<size_t>(num_clients));
+    slots_.push_back(std::move(slot));
+  }
+  client_touched_.assign(static_cast<size_t>(num_clients), 0);
+  resident_bytes_.store(0, std::memory_order_relaxed);
+  touched_clients_.store(0, std::memory_order_relaxed);
+}
+
+QuantizedStateStore::Hot* QuantizedStateStore::EnsureHot(int client_id,
+                                                         int slot) const {
+  Slot& s = slots_[static_cast<size_t>(slot)];
+  std::unique_ptr<Hot>& hot = s.hot[static_cast<size_t>(client_id)];
+  if (hot == nullptr) {
+    const std::unique_ptr<Payload>& cold =
+        s.cold[static_cast<size_t>(client_id)];
+    auto entry = std::make_unique<Hot>();
+    entry->data = cold ? codec_->Decode(*cold) : s.init;
+    FEDADMM_CHECK_MSG(
+        entry->data.size() == static_cast<size_t>(s.dim),
+        "QuantizedStateStore: decoded size mismatch");
+    resident_bytes_.fetch_add(
+        s.dim * static_cast<int64_t>(sizeof(float)),
+        std::memory_order_relaxed);
+    hot = std::move(entry);
+  }
+  return hot.get();
+}
+
+std::span<const float> QuantizedStateStore::View(int client_id,
+                                                 int slot) const {
+  std::lock_guard<std::mutex> lock(StripeFor(client_id));
+  const Slot& s = slots_[static_cast<size_t>(slot)];
+  if (s.hot[static_cast<size_t>(client_id)] == nullptr &&
+      s.cold[static_cast<size_t>(client_id)] == nullptr) {
+    // Never touched: read the shared initial value at zero cost.
+    return {s.init.data(), static_cast<size_t>(s.dim)};
+  }
+  const Hot* hot = EnsureHot(client_id, slot);
+  return {hot->data.data(), hot->data.size()};
+}
+
+std::span<float> QuantizedStateStore::MutableView(int client_id, int slot) {
+  std::lock_guard<std::mutex> lock(StripeFor(client_id));
+  Hot* hot = EnsureHot(client_id, slot);
+  hot->dirty = true;
+  if (!client_touched_[static_cast<size_t>(client_id)]) {
+    client_touched_[static_cast<size_t>(client_id)] = 1;
+    touched_clients_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return {hot->data.data(), hot->data.size()};
+}
+
+void QuantizedStateStore::Release(int client_id) const {
+  std::lock_guard<std::mutex> lock(StripeFor(client_id));
+  for (Slot& s : slots_) {
+    std::unique_ptr<Hot>& hot = s.hot[static_cast<size_t>(client_id)];
+    if (hot == nullptr) continue;
+    std::unique_ptr<Payload>& cold = s.cold[static_cast<size_t>(client_id)];
+    if (hot->dirty) {
+      // Stream id is informational for the stateless quantizers used here.
+      const int64_t stream =
+          static_cast<int64_t>(client_id) * num_slots() +
+          static_cast<int64_t>(&s - slots_.data());
+      Payload packed = codec_->Encode(stream, hot->data, /*rng=*/nullptr);
+      int64_t delta = packed.WireBytes();
+      if (cold) delta -= cold->WireBytes();
+      cold = std::make_unique<Payload>(std::move(packed));
+      resident_bytes_.fetch_add(delta, std::memory_order_relaxed);
+    }
+    resident_bytes_.fetch_sub(
+        s.dim * static_cast<int64_t>(sizeof(float)),
+        std::memory_order_relaxed);
+    hot.reset();
+  }
+}
+
+void QuantizedStateStore::ForEachTouched(
+    const TouchedStateVisitor& visitor) const {
+  for (int c = 0; c < num_clients_; ++c) {
+    if (!client_touched_[static_cast<size_t>(c)]) continue;
+    for (int s = 0; s < num_slots(); ++s) {
+      const Slot& slot = slots_[static_cast<size_t>(s)];
+      const Hot* hot = slot.hot[static_cast<size_t>(c)].get();
+      if (hot != nullptr) {
+        visitor(c, s, {hot->data.data(), hot->data.size()});
+        continue;
+      }
+      const Payload* cold = slot.cold[static_cast<size_t>(c)].get();
+      if (cold == nullptr) continue;
+      // Decode into a temporary: the span is only valid for the visit.
+      const std::vector<float> decoded = codec_->Decode(*cold);
+      visitor(c, s, {decoded.data(), decoded.size()});
+    }
+  }
+}
+
+}  // namespace fedadmm

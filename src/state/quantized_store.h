@@ -1,0 +1,101 @@
+/// \file quantized_store.h
+/// \brief Cold client state compressed through the src/comm quantizers.
+
+#ifndef FEDADMM_STATE_QUANTIZED_STORE_H_
+#define FEDADMM_STATE_QUANTIZED_STORE_H_
+
+#include <array>
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "comm/codec.h"
+#include "state/client_state_store.h"
+
+namespace fedadmm {
+
+/// \brief Hot/cold storage: in-flight clients hold fp32, everyone else a
+/// quantized payload.
+///
+/// Cold state lives as the wire form of an `UpdateCodec` — `quantized:<b>`
+/// with b in 1..16 uses the deterministic uniform b-bit grid
+/// (`UniformQuantCodec`, per-chunk scale, worst-case error scale/(2^b−1)
+/// per coordinate); b = 32 stores raw fp32 through `IdentityCodec` and is
+/// lossless, so `quantized:32` replays bitwise identically to `dense`.
+/// `MutableView` decodes the cold payload (or copies the slot's initial
+/// value) into a hot fp32 entry and marks it dirty; `Release` re-encodes
+/// dirty hot entries back to cold and drops the fp32 copy, so only the
+/// in-flight population ever pays fp32 prices. `View` of a cold client
+/// also decodes into the hot cache (clean) — call `Release` when done to
+/// drop it; `View` of a never-touched client reads the shared initial
+/// value at zero cost.
+///
+/// Like all backends, concurrent use is only allowed for distinct client
+/// ids; internally a striped mutex array serializes per-client transitions
+/// while keeping independent clients parallel.
+class QuantizedStateStore final : public ClientStateStore {
+ public:
+  /// `bits` in 1..16 (uniform quantizer) or 32 (identity / lossless).
+  explicit QuantizedStateStore(int bits);
+
+  std::string name() const override;
+
+  void Configure(int num_clients, std::vector<StateSlotSpec> slots) override;
+  std::span<const float> View(int client_id, int slot) const override;
+  std::span<float> MutableView(int client_id, int slot) override;
+  void Release(int client_id) const override;
+  void ForEachTouched(const TouchedStateVisitor& visitor) const override;
+  int64_t bytes_resident() const override {
+    return resident_bytes_.load(std::memory_order_relaxed);
+  }
+  int num_touched_clients() const override {
+    return static_cast<int>(touched_clients_.load(std::memory_order_relaxed));
+  }
+
+  int num_clients() const override { return num_clients_; }
+  int num_slots() const override { return static_cast<int>(slots_.size()); }
+  int64_t slot_dim(int slot) const override {
+    return slots_[static_cast<size_t>(slot)].dim;
+  }
+
+  int bits() const { return bits_; }
+
+ private:
+  struct Hot {
+    std::vector<float> data;
+    bool dirty = false;
+  };
+  struct Slot {
+    int64_t dim = 0;
+    std::vector<float> init;
+    /// Per-client quantized payload; nullptr = never persisted.
+    std::vector<std::unique_ptr<Payload>> cold;
+    /// Per-client decoded fp32 copy; nullptr = not currently hot.
+    std::vector<std::unique_ptr<Hot>> hot;
+  };
+
+  /// Ensures `(client_id, slot)` is hot; caller holds the client's stripe.
+  Hot* EnsureHot(int client_id, int slot) const;
+  std::mutex& StripeFor(int client_id) const {
+    return stripes_[static_cast<size_t>(client_id) % kStripes];
+  }
+
+  static constexpr size_t kStripes = 64;
+
+  int bits_;
+  /// Codec state is never mutated by Encode for the quantizers used here,
+  /// so sharing one instance across stripes is safe.
+  std::unique_ptr<UpdateCodec> codec_;
+  int num_clients_ = 0;
+  mutable std::vector<Slot> slots_;
+  mutable std::vector<char> client_touched_;
+  mutable std::array<std::mutex, kStripes> stripes_;
+  mutable std::atomic<int64_t> resident_bytes_{0};
+  mutable std::atomic<int64_t> touched_clients_{0};
+};
+
+}  // namespace fedadmm
+
+#endif  // FEDADMM_STATE_QUANTIZED_STORE_H_

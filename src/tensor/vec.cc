@@ -1,11 +1,36 @@
 #include "tensor/vec.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace fedadmm::vec {
+namespace {
+
+/// Runs `body(begin, end)` over [0, n) in kReduceBlock-sized blocks,
+/// serially or across `pool`. Boundaries depend only on n.
+template <typename Body>
+void ForEachBlock(size_t n, ThreadPool* pool, const Body& body) {
+  if (n == 0) return;
+  const size_t num_blocks = (n + kReduceBlock - 1) / kReduceBlock;
+  if (pool == nullptr || pool->num_threads() <= 1 || num_blocks <= 1) {
+    for (size_t b = 0; b < num_blocks; ++b) {
+      const size_t begin = b * kReduceBlock;
+      body(begin, std::min(begin + kReduceBlock, n));
+    }
+    return;
+  }
+  pool->ParallelFor(static_cast<int>(num_blocks), [&](int b, int worker) {
+    (void)worker;
+    const size_t begin = static_cast<size_t>(b) * kReduceBlock;
+    body(begin, std::min(begin + kReduceBlock, n));
+  });
+}
+
+}  // namespace
 
 void Axpy(float alpha, std::span<const float> x, std::span<float> y) {
   FEDADMM_CHECK(x.size() == y.size());
@@ -69,16 +94,40 @@ void Sub(std::span<const float> x, std::span<const float> y,
 
 void Mean(const std::vector<std::span<const float>>& vectors,
           std::span<float> out) {
-  FEDADMM_CHECK_MSG(!vectors.empty(), "vec::Mean of zero vectors");
-  Zero(out);
-  for (const auto& v : vectors) Axpy(1.0f, v, out);
-  Scale(1.0f / static_cast<float>(vectors.size()), out);
+  // Per element this is zero → add in list order → scale, exactly the
+  // blocked kernel's op sequence, so delegating is bitwise free.
+  BlockedMean(vectors, out, /*pool=*/nullptr);
 }
 
 float MaxAbs(std::span<const float> x) {
   float m = 0.0f;
   for (float v : x) m = std::max(m, std::fabs(v));
   return m;
+}
+
+void AxpyMany(float alpha, const std::vector<std::span<const float>>& xs,
+              std::span<float> y, ThreadPool* pool) {
+  for (const auto& x : xs) FEDADMM_CHECK(x.size() == y.size());
+  if (xs.empty()) return;
+  ForEachBlock(y.size(), pool, [&](size_t begin, size_t end) {
+    for (const auto& x : xs) {
+      for (size_t i = begin; i < end; ++i) y[i] += alpha * x[i];
+    }
+  });
+}
+
+void BlockedMean(const std::vector<std::span<const float>>& xs,
+                 std::span<float> out, ThreadPool* pool) {
+  FEDADMM_CHECK_MSG(!xs.empty(), "vec::BlockedMean of zero vectors");
+  for (const auto& x : xs) FEDADMM_CHECK(x.size() == out.size());
+  const float inv = 1.0f / static_cast<float>(xs.size());
+  ForEachBlock(out.size(), pool, [&](size_t begin, size_t end) {
+    std::memset(out.data() + begin, 0, (end - begin) * sizeof(float));
+    for (const auto& x : xs) {
+      for (size_t i = begin; i < end; ++i) out[i] += x[i];
+    }
+    for (size_t i = begin; i < end; ++i) out[i] *= inv;
+  });
 }
 
 }  // namespace fedadmm::vec

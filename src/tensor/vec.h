@@ -15,6 +15,10 @@
 #include <span>
 #include <vector>
 
+namespace fedadmm {
+class ThreadPool;
+}
+
 namespace fedadmm::vec {
 
 /// y += alpha * x
@@ -55,6 +59,28 @@ void Mean(const std::vector<std::span<const float>>& vectors,
 
 /// Largest |x[i]|.
 float MaxAbs(std::span<const float> x);
+
+/// Fixed reduction block length (floats). Blocked kernels always cut the
+/// dimension at multiples of this constant — never at thread-dependent
+/// boundaries — so their results are bitwise identical for any pool size.
+inline constexpr size_t kReduceBlock = 8192;
+
+/// y += alpha * x for every x in `xs`, fused and blocked: each block of y
+/// accumulates all of `xs` in list order before the next block starts on
+/// it. Per element the float-op sequence equals `for x: Axpy(alpha, x, y)`,
+/// so the result is bitwise identical to that loop — and to itself across
+/// thread counts (fixed block boundaries, disjoint writes). `pool` may be
+/// nullptr (serial); blocks are distributed across the pool otherwise.
+/// This is the server-aggregation hot path: one pass over y instead of
+/// |xs| passes.
+void AxpyMany(float alpha, const std::vector<std::span<const float>>& xs,
+              std::span<float> y, ThreadPool* pool = nullptr);
+
+/// Elementwise mean of `xs` (all same length) into `out`, blocked and
+/// optionally pool-parallel. Bitwise identical to `Mean` (zero, add in
+/// list order, scale) for any thread count.
+void BlockedMean(const std::vector<std::span<const float>>& xs,
+                 std::span<float> out, ThreadPool* pool = nullptr);
 
 }  // namespace fedadmm::vec
 

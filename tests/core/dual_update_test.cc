@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <span>
 #include <vector>
 
 #include "core/fedadmm.h"
@@ -45,7 +47,8 @@ TEST(DualUpdateTest, DualAscentAccumulatesAcrossRounds) {
   // Round 0: y⁰ = 0, so y¹ = ρ(w¹ − θ⁰).
   auto lp0 = problem.MakeLocalProblem(0, 0);
   algo.ClientUpdate(0, 0, theta, lp0.get(), Rng(11));
-  std::vector<float> y_after_r0 = algo.client_dual(0);
+  const std::span<const float> dual0 = algo.client_dual(0);
+  std::vector<float> y_after_r0(dual0.begin(), dual0.end());
   for (size_t k = 0; k < y_after_r0.size(); ++k) {
     EXPECT_NEAR(y_after_r0[k], rho * (algo.client_model(0)[k] - theta[k]),
                 1e-5f);
@@ -100,7 +103,9 @@ TEST(DualUpdateTest, FreezeDualsKeepsEveryDualIdenticallyZero) {
       EXPECT_EQ(vec::L2Norm(algo.client_dual(i)), 0.0);
     }
   }
-  EXPECT_NE(algo.client_model(0), theta);
+  EXPECT_FALSE(std::equal(algo.client_model(0).begin(),
+                          algo.client_model(0).end(), theta.begin(),
+                          theta.end()));
 }
 
 TEST(DualUpdateTest, FrozenDualDeltaIsPlainModelDelta) {
@@ -112,7 +117,8 @@ TEST(DualUpdateTest, FrozenDualDeltaIsPlainModelDelta) {
   algo.Setup(Ctx(problem), theta);
 
   // With y ≡ 0 the augmented model u = w, so Δ = w⁺ − w.
-  std::vector<float> w_prev = algo.client_model(1);
+  const std::span<const float> w_view = algo.client_model(1);
+  std::vector<float> w_prev(w_view.begin(), w_view.end());
   auto lp = problem.MakeLocalProblem(1, 0);
   const UpdateMessage msg = algo.ClientUpdate(1, 0, theta, lp.get(), Rng(14));
   for (size_t k = 0; k < msg.delta.size(); ++k) {

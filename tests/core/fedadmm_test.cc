@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <span>
+
 #include "fl/quadratic_problem.h"
 #include "tensor/vec.h"
 
@@ -40,7 +43,9 @@ TEST(FedAdmmTest, SetupInitializesPrimalDualState) {
   std::vector<float> theta(8, 0.7f);
   algo.Setup(Ctx(problem), theta);
   for (int i = 0; i < problem.num_clients(); ++i) {
-    EXPECT_EQ(algo.client_model(i), theta);               // w_i⁰ = θ⁰
+    const std::span<const float> w0 = algo.client_model(i);
+    EXPECT_TRUE(std::equal(w0.begin(), w0.end(), theta.begin(),
+                           theta.end()));                 // w_i⁰ = θ⁰
     EXPECT_EQ(vec::L2Norm(algo.client_dual(i)), 0.0);     // y_i⁰ = 0
   }
 }
@@ -150,7 +155,10 @@ TEST(FedAdmmTest, GlobalInitIgnoresStoredClientModel) {
   auto l2 = problem.MakeLocalProblem(0, 0);
   algo_warm.ClientUpdate(0, 1, theta2, l1.get(), Rng(4));
   algo_cold.ClientUpdate(0, 1, theta2, l2.get(), Rng(4));
-  EXPECT_NE(algo_warm.client_model(0), algo_cold.client_model(0));
+  const std::span<const float> w_warm = algo_warm.client_model(0);
+  const std::span<const float> w_cold = algo_cold.client_model(0);
+  EXPECT_FALSE(
+      std::equal(w_warm.begin(), w_warm.end(), w_cold.begin(), w_cold.end()));
 }
 
 TEST(FedAdmmTest, FrozenDualsStayZero) {

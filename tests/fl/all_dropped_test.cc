@@ -34,6 +34,9 @@ FedAdmmOptions Options() {
   options.local.batch_size = 4;
   options.local.max_epochs = 2;
   options.rho = StepSchedule(0.1);
+  // η = |S_t|/m: required by the engine's event-mode guardrail (a fixed η
+  // would overshoot m-fold on singleton/small batches).
+  options.eta_active_fraction = true;
   return options;
 }
 

@@ -1,0 +1,111 @@
+// The event-mode pre-flight guardrail (FederatedAlgorithm::
+// ValidateForEventMode): FedADMM with a fixed η silently overshoots the
+// tracking update m/|S_t|-fold under buffered/async aggregation (the PR 4
+// footgun), and FedPD cannot form its full-population mean from partial
+// batches. Both must fail fast with a clear Status — never crash mid-run,
+// never run and diverge.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/fedadmm.h"
+#include "fl/algorithms/fedpd.h"
+#include "fl/quadratic_problem.h"
+#include "fl/selection.h"
+#include "fl/simulation.h"
+#include "sys/system_model.h"
+
+namespace fedadmm {
+namespace {
+
+constexpr int kClients = 10;
+
+QuadraticSpec Spec() {
+  QuadraticSpec spec;
+  spec.num_clients = kClients;
+  spec.dim = 6;
+  spec.seed = 44;
+  return spec;
+}
+
+SystemModel Model() {
+  FleetModel fleet =
+      FleetModel::FromPreset("uniform", kClients, 2).ValueOrDie();
+  return SystemModel(std::move(fleet),
+                     MakeStragglerPolicy("wait-for-all", -1.0).ValueOrDie());
+}
+
+Result<History> RunAdmm(ExecutionMode mode, bool eta_active_fraction,
+                        const SystemModel* model) {
+  QuadraticProblem problem(Spec());
+  FedAdmmOptions options;
+  options.local.max_epochs = 1;
+  options.rho = StepSchedule(0.3);
+  options.eta = StepSchedule(1.0);  // the overshooting fixed schedule
+  options.eta_active_fraction = eta_active_fraction;
+  FedAdmm algo(options);
+  UniformFractionSelector selector(kClients, 0.5);
+  SimulationConfig config;
+  config.max_rounds = 4;
+  config.seed = 9;
+  config.mode = mode;
+  Simulation sim(&problem, &algo, &selector, config);
+  if (model) sim.set_system_model(model);
+  return sim.Run();
+}
+
+TEST(EtaGuardrailTest, FixedEtaIsRejectedInEventModes) {
+  const SystemModel model = Model();
+  for (ExecutionMode mode :
+       {ExecutionMode::kBuffered, ExecutionMode::kAsync}) {
+    const auto result = RunAdmm(mode, /*eta_active_fraction=*/false, &model);
+    ASSERT_FALSE(result.ok()) << ExecutionModeName(mode);
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+    // The message must name the fix.
+    EXPECT_NE(result.status().message().find("eta_active_fraction"),
+              std::string::npos);
+  }
+}
+
+TEST(EtaGuardrailTest, ActiveFractionEtaRunsInEventModes) {
+  const SystemModel model = Model();
+  for (ExecutionMode mode :
+       {ExecutionMode::kBuffered, ExecutionMode::kAsync}) {
+    EXPECT_TRUE(RunAdmm(mode, /*eta_active_fraction=*/true, &model).ok())
+        << ExecutionModeName(mode);
+  }
+}
+
+TEST(EtaGuardrailTest, FixedEtaStaysLegalInSyncMode) {
+  // Sync aggregates the full wave, where a fixed η is the paper's Fig. 6
+  // knob — the guardrail must not fire.
+  EXPECT_TRUE(
+      RunAdmm(ExecutionMode::kSync, /*eta_active_fraction=*/false, nullptr)
+          .ok());
+}
+
+TEST(EtaGuardrailTest, FedPdRejectsEventModesWithStatusNotCrash) {
+  const SystemModel model = Model();
+  for (ExecutionMode mode :
+       {ExecutionMode::kBuffered, ExecutionMode::kAsync}) {
+    QuadraticProblem problem(Spec());
+    LocalTrainSpec local;
+    local.max_epochs = 1;
+    FedPd algo(local, 0.5f, 0.5);
+    FullParticipationSelector selector(kClients);
+    SimulationConfig config;
+    config.max_rounds = 3;
+    config.mode = mode;
+    Simulation sim(&problem, &algo, &selector, config);
+    sim.set_system_model(&model);
+    const auto result = sim.Run();
+    ASSERT_FALSE(result.ok()) << ExecutionModeName(mode);
+    EXPECT_NE(result.status().message().find("full population"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace fedadmm

@@ -37,6 +37,7 @@ RoundRecord SampleRecord(int round) {
   r.num_admitted_partial = 1;
   r.staleness_mean = 2.6666666666666665;
   r.staleness_max = 7;
+  r.state_bytes_resident = 3456789012345LL;
   return r;
 }
 
@@ -61,6 +62,7 @@ void ExpectRecordsEqual(const RoundRecord& a, const RoundRecord& b) {
   EXPECT_EQ(a.num_admitted_partial, b.num_admitted_partial);
   EXPECT_TRUE(Same(a.staleness_mean, b.staleness_mean));
   EXPECT_EQ(a.staleness_max, b.staleness_max);
+  EXPECT_EQ(a.state_bytes_resident, b.state_bytes_resident);
 }
 
 TEST(HistoryCsvTest, RowFormatterRoundTripsBitwise) {
