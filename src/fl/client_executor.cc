@@ -1,6 +1,9 @@
 #include "fl/client_executor.h"
 
 #include <algorithm>
+#include <numeric>
+
+#include "util/shard.h"
 
 namespace fedadmm {
 namespace {
@@ -19,18 +22,36 @@ int ClampThreads(int requested, int num_workers) {
 
 ClientExecutor::ClientExecutor(FederatedProblem* problem,
                                FederatedAlgorithm* algorithm,
-                               const Rng& master, int num_threads)
+                               const Rng& master, int num_threads,
+                               int num_shards)
     : problem_(problem),
       algorithm_(algorithm),
       master_(master),
-      pool_(ClampThreads(num_threads, problem->num_workers())) {}
+      pool_(ClampThreads(num_threads, problem->num_workers())),
+      num_shards_(std::max(1, num_shards)) {}
 
 void ClientExecutor::RunWave(int wave, const std::vector<int>& clients,
                              const std::vector<float>& theta,
                              std::vector<UpdateMessage>* out) {
   out->assign(clients.size(), UpdateMessage());
+  // Shard-major execution order: under a sharded server, clients of the
+  // same shard run back-to-back, so concurrent MutableView/Release calls
+  // spread across the per-shard stores' locks instead of hammering one
+  // store's stripes. Pure scheduling — each result lands at its original
+  // index and every RNG stream is keyed by (wave, client), so trajectories
+  // are bitwise identical for any order (and W = 1 keeps the natural
+  // order: the sort below is a stable identity).
+  std::vector<int> order(clients.size());
+  std::iota(order.begin(), order.end(), 0);
+  if (num_shards_ > 1) {
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+      return ShardOfClient(clients[static_cast<size_t>(a)], num_shards_) <
+             ShardOfClient(clients[static_cast<size_t>(b)], num_shards_);
+    });
+  }
   pool_.ParallelFor(
-      static_cast<int>(clients.size()), [&](int idx, int worker) {
+      static_cast<int>(clients.size()), [&](int pos, int worker) {
+        const int idx = order[static_cast<size_t>(pos)];
         const int client = clients[static_cast<size_t>(idx)];
         auto local = problem_->MakeLocalProblem(client, worker);
         // Per-(wave, client) stream: results do not depend on thread

@@ -27,9 +27,13 @@ namespace fedadmm {
 class ClientExecutor {
  public:
   /// Pointers are borrowed. `num_threads <= 0` picks the hardware default;
-  /// the pool is clamped to the problem's worker-slot count.
+  /// the pool is clamped to the problem's worker-slot count. `num_shards`
+  /// (clamped to >= 1) is the aggregation-server worker count: waves run
+  /// in shard-major order so same-shard clients contend on their own
+  /// shard's state store, not across shards — scheduling only, results
+  /// are bitwise order-independent.
   ClientExecutor(FederatedProblem* problem, FederatedAlgorithm* algorithm,
-                 const Rng& master, int num_threads);
+                 const Rng& master, int num_threads, int num_shards = 1);
 
   /// Runs `algorithm->ClientUpdate` for every client in `clients` against
   /// `theta`, writing results into `*out` (resized, index-parallel to
@@ -50,6 +54,7 @@ class ClientExecutor {
   FederatedAlgorithm* algorithm_;
   Rng master_;
   ThreadPool pool_;
+  int num_shards_;
 };
 
 }  // namespace fedadmm

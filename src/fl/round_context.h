@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "fl/types.h"
+#include "util/shard.h"
 
 namespace fedadmm {
 
@@ -43,12 +44,28 @@ struct DownlinkPlan {
 struct RoundContext {
   /// Round index (sync) or wave id (event modes); keys all RNG streams.
   int round = 0;
+  /// Aggregation-server worker count this wave runs under
+  /// (SimulationConfig::num_shards; 1 = unsharded).
+  int num_shards = 1;
   /// The selector's draw for this round/wave.
   std::vector<int> selected;
   /// Downlink billing + broadcast for this round/wave.
   DownlinkPlan downlink;
   /// Client updates, parallel to `selected` until admission filters them.
   std::vector<UpdateMessage> updates;
+
+  /// Selected clients per shard (size num_shards) — the wave's worker
+  /// load-balance, for diagnostics and the shard-scale bench.
+  std::vector<int> ShardLoads() const {
+    std::vector<int> loads(static_cast<size_t>(num_shards < 1 ? 1
+                                                              : num_shards),
+                           0);
+    for (const int client : selected) {
+      ++loads[static_cast<size_t>(ShardOfClient(
+          client, static_cast<int>(loads.size())))];
+    }
+    return loads;
+  }
 };
 
 }  // namespace fedadmm

@@ -60,7 +60,8 @@ ServerLoop::ServerLoop(FederatedProblem* problem,
       selection_rng_(master_.Fork(kSelectionTag)),
       init_rng_(master_.Fork(kInitTag)),
       pipeline_(uplink_codec, downlink_codec, master_),
-      executor_(problem, algorithm, master_, config.num_threads),
+      executor_(problem, algorithm, master_, config.num_threads,
+                config.num_shards),
       theta_(*theta) {}
 
 void ServerLoop::InitializeModel() {
@@ -73,6 +74,7 @@ void ServerLoop::InitializeModel() {
   // idle whenever ServerUpdate / AggregateOne runs (waves are joined before
   // aggregation in every mode).
   ctx.reduce_pool = executor_.pool();
+  ctx.num_shards = config_.num_shards;
   algorithm_->Setup(ctx, theta_);
 }
 
@@ -124,6 +126,10 @@ Result<History> ServerLoop::Run() {
   if (config_.eval_every < 1) {
     return Status::InvalidArgument("Simulation: eval_every must be >= 1");
   }
+  if (config_.num_shards < 1) {
+    return Status::InvalidArgument(
+        "Simulation: num_shards must be >= 1 (1 = unsharded server)");
+  }
   // Fail fast on a bad spec — config-level or algorithm-default — since
   // Setup runs deep inside the first round and can only CHECK.
   const std::string effective_store = config_.state_store.empty()
@@ -156,6 +162,7 @@ Result<History> ServerLoop::RunSync() {
     Stopwatch watch;
     RoundContext ctx;
     ctx.round = round;
+    ctx.num_shards = config_.num_shards;
     ctx.selected = selector_->Select(round, &selection_rng_);
     FEDADMM_CHECK_MSG(!ctx.selected.empty(), "selector returned empty set");
 
@@ -255,9 +262,10 @@ Result<History> ServerLoop::RunSync() {
 
 void ServerLoop::DispatchWave(const std::vector<int>& clients, int wave,
                               double now, int theta_version,
-                              EventQueue* queue) {
+                              ShardedEventQueue* queue) {
   RoundContext ctx;
   ctx.round = wave;
+  ctx.num_shards = config_.num_shards;
   ctx.selected = clients;
   ctx.downlink = pipeline_.PrepareDownlink(
       wave, theta_, algorithm_->DownloadBytesPerClient());
@@ -301,7 +309,10 @@ Result<History> ServerLoop::RunEventDriven() {
                                        : ConstantStalenessWeight();
 
   History history;
-  EventQueue queue;
+  // One event heap per aggregation worker; pops merge on (time, sequence),
+  // identically to a single global heap at every W — so the sharded queue
+  // serves all W (including 1) without touching the trajectory.
+  ShardedEventQueue queue(config_.num_shards);
   int wave_counter = 0;
   int server_version = 0;
 

@@ -16,8 +16,11 @@
 ///     accounting order), so trajectories are bitwise identical to the
 ///     monolith.
 ///   * **event-driven** (buffered / async): each dispatched client becomes
-///     a `ClientCompletionEvent` on a `sys/EventQueue`, scheduled at its
-///     own `ComputeClientTiming` finish (as shaped by the straggler
+///     a `ClientCompletionEvent` on a `sys/ShardedEventQueue` — one heap
+///     per aggregation worker (`SimulationConfig::num_shards`), merged on
+///     (time, sequence), which pops identically to a single global heap at
+///     every W — scheduled at its own `ComputeClientTiming` finish (as
+///     shaped by the straggler
 ///     policy, reused as the per-event admission predicate). The server
 ///     pops events in simulated-time order: async aggregates every
 ///     admitted arrival via `FederatedAlgorithm::AggregateOne`; buffered
@@ -84,9 +87,10 @@ class ServerLoop {
 
   /// Dispatches `clients` at simulated time `now` against the current θ:
   /// downlink encode + billing, parallel client execution, uplink size
-  /// prediction, admission judgment, and one completion event per client.
+  /// prediction, admission judgment, and one completion event per client,
+  /// pushed onto its shard's heap.
   void DispatchWave(const std::vector<int>& clients, int wave, double now,
-                    int theta_version, EventQueue* queue);
+                    int theta_version, ShardedEventQueue* queue);
 
   /// Picks a replacement client for a freed slot: the selector's draw for
   /// `wave` filtered by in-flight status, falling back to the first idle

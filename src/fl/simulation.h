@@ -83,12 +83,22 @@ struct SimulationConfig {
   /// (fl/staleness.h); null means constant 1 (no discount).
   StalenessWeightFn staleness_weight;
   /// Client-state backend for stateful algorithms (src/state):
-  /// "dense" | "lazy" | "quantized:<b>". Empty keeps each algorithm's own
-  /// default (dense). `lazy` and `quantized` keep resident state
-  /// proportional to the *touched* client population — the lever that
-  /// makes 100k-client fleets affordable under 1% participation; see
-  /// `RoundRecord::state_bytes_resident` and bench_state_scale.
+  /// "dense" | "lazy" | "quantized:<b>" | "sharded:<W>:<inner>". Empty
+  /// keeps each algorithm's own default (dense). `lazy` and `quantized`
+  /// keep resident state proportional to the *touched* client population —
+  /// the lever that makes 100k-client fleets affordable under 1%
+  /// participation; see `RoundRecord::state_bytes_resident` and
+  /// bench_state_scale.
   std::string state_store;
+  /// Aggregation-server worker count W (>= 1). Each worker owns the
+  /// client-id partition `client % W` (util/shard.h): its slice of the
+  /// client-state store, its per-worker event heap, and its partial of the
+  /// hierarchical server reduce (vec::AxpyManySharded), combined in fixed
+  /// shard order. Every W is deterministic across thread counts; W = 1 is
+  /// bitwise identical to the pre-shard engine, and different W agree up
+  /// to float-summation regrouping (see bench_shard_scale). An explicit
+  /// `sharded:` state_store spec overrides this knob's store partition.
+  int num_shards = 1;
 };
 
 /// \brief Optional per-round observer (round index, record) — benches use it

@@ -5,11 +5,13 @@
 #include "state/dense_store.h"
 #include "state/lazy_store.h"
 #include "state/quantized_store.h"
+#include "state/sharded_store.h"
 
 namespace fedadmm {
 namespace {
 
 constexpr char kQuantizedPrefix[] = "quantized:";
+constexpr char kShardedPrefix[] = "sharded:";
 
 }  // namespace
 
@@ -29,16 +31,50 @@ Result<std::unique_ptr<ClientStateStore>> MakeClientStateStore(
     }
     return {std::make_unique<QuantizedStateStore>(static_cast<int>(bits))};
   }
+  if (spec.rfind(kShardedPrefix, 0) == 0) {
+    const std::string arg = spec.substr(sizeof(kShardedPrefix) - 1);
+    const size_t colon = arg.find(':');
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument(
+          "MakeClientStateStore: want sharded:<W>:<inner spec>, got '" +
+          spec + "'");
+    }
+    const std::string count = arg.substr(0, colon);
+    const std::string inner = arg.substr(colon + 1);
+    char* end = nullptr;
+    const long shards = std::strtol(count.c_str(), &end, 10);
+    if (count.empty() || end == nullptr || *end != '\0' || shards < 1) {
+      return Status::InvalidArgument(
+          "MakeClientStateStore: bad shard count '" + count + "' (want >= 1)");
+    }
+    if (inner.rfind(kShardedPrefix, 0) == 0) {
+      return Status::InvalidArgument(
+          "MakeClientStateStore: sharded specs do not nest ('" + spec + "')");
+    }
+    // Validate the inner spec through the same factory so error text stays
+    // uniform; W = 1 then *is* the inner store — one partition of
+    // everything, bitwise the unsharded backend.
+    FEDADMM_ASSIGN_OR_RETURN(std::unique_ptr<ClientStateStore> probe,
+                             MakeClientStateStore(inner));
+    if (shards == 1) return {std::move(probe)};
+    return {std::make_unique<ShardedStateStore>(static_cast<int>(shards),
+                                                inner)};
+  }
   return Status::InvalidArgument(
       "MakeClientStateStore: unknown spec '" + spec +
-      "' (want dense | lazy | quantized:<bits>)");
+      "' (want dense | lazy | quantized:<bits> | sharded:<W>:<inner>)");
 }
 
 Result<std::unique_ptr<ClientStateStore>> MakeConfiguredClientStateStore(
     const std::string& override_spec, const std::string& fallback_spec,
-    int num_clients, std::vector<StateSlotSpec> slots) {
-  const std::string& spec =
-      override_spec.empty() ? fallback_spec : override_spec;
+    int num_clients, std::vector<StateSlotSpec> slots, int num_shards) {
+  std::string spec = override_spec.empty() ? fallback_spec : override_spec;
+  // The engine's num_shards partitions whatever backend was chosen, but an
+  // explicit sharded: spec keeps its own W.
+  if (num_shards > 1 && spec.rfind(kShardedPrefix, 0) != 0) {
+    spec = std::string(kShardedPrefix) + std::to_string(num_shards) + ":" +
+           spec;
+  }
   FEDADMM_ASSIGN_OR_RETURN(std::unique_ptr<ClientStateStore> store,
                            MakeClientStateStore(spec));
   store->Configure(num_clients, std::move(slots));
@@ -48,7 +84,7 @@ Result<std::unique_ptr<ClientStateStore>> MakeConfiguredClientStateStore(
 const std::vector<std::string>& ClientStateStoreExampleSpecs() {
   static const std::vector<std::string>* const kSpecs =
       new std::vector<std::string>(
-          {"dense", "lazy", "quantized:8", "quantized:32"});
+          {"dense", "lazy", "quantized:8", "quantized:32", "sharded:4:lazy"});
   return *kSpecs;
 }
 

@@ -114,11 +114,15 @@ class ClientStateStore {
 };
 
 /// \brief Builds a store from a spec string:
-///   * "dense"          — eager arena, O(m·d) from Configure;
-///   * "lazy"           — slab-chunked, materialize on first mutable touch;
-///   * "quantized:<b>"  — cold state through the src/comm quantizers,
-///                        b in 1..16 (uniform b-bit grid) or 32 (raw fp32,
-///                        lossless).
+///   * "dense"            — eager arena, O(m·d) from Configure;
+///   * "lazy"             — slab-chunked, materialize on first mutable
+///                          touch;
+///   * "quantized:<b>"    — cold state through the src/comm quantizers,
+///                          b in 1..16 (uniform b-bit grid) or 32 (raw
+///                          fp32, lossless);
+///   * "sharded:<W>:<s>"  — client-id partition over W copies of the
+///                          unsharded spec `<s>` (state/sharded_store.h);
+///                          W = 1 normalizes to `<s>` itself.
 /// Returns InvalidArgument for anything else.
 Result<std::unique_ptr<ClientStateStore>> MakeClientStateStore(
     const std::string& spec);
@@ -127,9 +131,13 @@ Result<std::unique_ptr<ClientStateStore>> MakeClientStateStore(
 /// algorithm's `fallback_spec` otherwise), builds the store and runs
 /// `Configure` — the one code path every stateful algorithm's Setup uses,
 /// so spec resolution and error handling cannot drift between them.
+/// `num_shards > 1` wraps the resolved spec in the client-id partition
+/// (`sharded:<num_shards>:<spec>`) unless the spec already chose its own
+/// sharding — an explicit `sharded:` spec always wins over the engine
+/// knob.
 Result<std::unique_ptr<ClientStateStore>> MakeConfiguredClientStateStore(
     const std::string& override_spec, const std::string& fallback_spec,
-    int num_clients, std::vector<StateSlotSpec> slots);
+    int num_clients, std::vector<StateSlotSpec> slots, int num_shards = 1);
 
 /// Example specs for help strings and sweeps.
 const std::vector<std::string>& ClientStateStoreExampleSpecs();

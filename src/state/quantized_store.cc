@@ -99,7 +99,23 @@ void QuantizedStateStore::Release(int client_id) const {
     std::unique_ptr<Hot>& hot = s.hot[static_cast<size_t>(client_id)];
     if (hot == nullptr) continue;
     std::unique_ptr<Payload>& cold = s.cold[static_cast<size_t>(client_id)];
-    if (hot->dirty) {
+    // `dirty` only means MutableView was handed out, not that bytes
+    // changed: a read-modify cycle that writes back unchanged values used
+    // to re-quantize on every release. When the hot bytes still equal the
+    // cold payload's decode, keeping the payload is exactly lossless (the
+    // client observed Decode(cold) and wrote it back verbatim) — so skip
+    // the encode and the payload churn. Decode + memcmp is cheaper than
+    // the encode's scale scan + grid + pack, needs no idempotence
+    // assumption from the codec, and keeps resident accounting still.
+    bool persist = hot->dirty;
+    if (persist && cold != nullptr) {
+      const std::vector<float> prior = codec_->Decode(*cold);
+      persist = prior.size() != hot->data.size() ||
+                (!prior.empty() &&
+                 std::memcmp(prior.data(), hot->data.data(),
+                             prior.size() * sizeof(float)) != 0);
+    }
+    if (persist) {
       // Stream id is informational for the stateless quantizers used here.
       const int64_t stream =
           static_cast<int64_t>(client_id) * num_slots() +

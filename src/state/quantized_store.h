@@ -27,7 +27,11 @@ namespace fedadmm {
 /// `MutableView` decodes the cold payload (or copies the slot's initial
 /// value) into a hot fp32 entry and marks it dirty; `Release` re-encodes
 /// dirty hot entries back to cold and drops the fp32 copy, so only the
-/// in-flight population ever pays fp32 prices. `View` of a cold client
+/// in-flight population ever pays fp32 prices. A dirty entry whose bytes
+/// still equal its cold payload's decode is written back by *keeping* the
+/// payload (decode + memcmp, no re-encode): unchanged write-back cycles —
+/// every read-modify round that converges — stop re-quantizing on each
+/// release, and resident accounting stays still. `View` of a cold client
 /// also decodes into the hot cache (clean) — call `Release` when done to
 /// drop it; `View` of a never-touched client reads the shared initial
 /// value at zero cost.

@@ -116,6 +116,69 @@ void AxpyMany(float alpha, const std::vector<std::span<const float>>& xs,
   });
 }
 
+void AxpyManySharded(float alpha,
+                     const std::vector<std::span<const float>>& xs,
+                     const std::vector<int>& shards, int num_shards,
+                     std::span<float> y, ThreadPool* pool) {
+  FEDADMM_CHECK_MSG(shards.size() == xs.size(),
+                    "vec::AxpyManySharded: one shard id per vector");
+  // The W = 1 fast path *is* the unsharded kernel — bitwise, not just
+  // numerically: the sharded server at W = 1 must replay pre-shard
+  // trajectories exactly.
+  if (num_shards <= 1) {
+    AxpyMany(alpha, xs, y, pool);
+    return;
+  }
+  for (const auto& x : xs) FEDADMM_CHECK(x.size() == y.size());
+  if (xs.empty()) return;
+
+  // Group vector indices by shard, preserving list order within a shard.
+  std::vector<std::vector<int>> members(static_cast<size_t>(num_shards));
+  for (size_t i = 0; i < shards.size(); ++i) {
+    const int s = shards[i];
+    FEDADMM_CHECK_MSG(s >= 0 && s < num_shards,
+                      "vec::AxpyManySharded: shard id out of range");
+    members[static_cast<size_t>(s)].push_back(static_cast<int>(i));
+  }
+
+  const size_t n = y.size();
+  std::vector<float> partials(static_cast<size_t>(num_shards) * n, 0.0f);
+  const size_t num_blocks = (n + kReduceBlock - 1) / kReduceBlock;
+
+  // One task per (shard, block): shards are independent partials, blocks
+  // are disjoint ranges, so all W · num_blocks tasks run concurrently —
+  // this is where the sharded server beats the single-block flat kernel.
+  const auto accumulate = [&](int task) {
+    const int s = task / static_cast<int>(num_blocks);
+    const size_t begin =
+        static_cast<size_t>(task % static_cast<int>(num_blocks)) *
+        kReduceBlock;
+    const size_t end = std::min(begin + kReduceBlock, n);
+    float* partial = partials.data() + static_cast<size_t>(s) * n;
+    for (const int xi : members[static_cast<size_t>(s)]) {
+      const std::span<const float>& x = xs[static_cast<size_t>(xi)];
+      for (size_t i = begin; i < end; ++i) partial[i] += alpha * x[i];
+    }
+  };
+  const int num_tasks = num_shards * static_cast<int>(num_blocks);
+  if (pool == nullptr || pool->num_threads() <= 1 || num_tasks <= 1) {
+    for (int t = 0; t < num_tasks; ++t) accumulate(t);
+  } else {
+    pool->ParallelFor(num_tasks,
+                      [&](int t, int worker) { (void)worker; accumulate(t); });
+  }
+
+  // Combine in fixed shard order; empty shards are skipped so their +0.0
+  // partials cannot flip a signed zero in y.
+  ForEachBlock(n, pool, [&](size_t begin, size_t end) {
+    for (int s = 0; s < num_shards; ++s) {
+      if (members[static_cast<size_t>(s)].empty()) continue;
+      const float* partial = partials.data() + static_cast<size_t>(s) * n;
+      for (size_t i = begin; i < end; ++i) y[i] += partial[i];
+    }
+  });
+}
+
 void BlockedMean(const std::vector<std::span<const float>>& xs,
                  std::span<float> out, ThreadPool* pool) {
   FEDADMM_CHECK_MSG(!xs.empty(), "vec::BlockedMean of zero vectors");

@@ -1,9 +1,23 @@
 #include "util/csv.h"
 
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <sstream>
 
 namespace fedadmm {
+namespace {
+
+// Integer-valued doubles below 2^53 are exactly representable, so they can
+// (and must) be printed without any rounding: byte counters and client
+// counts at fleet scale exceed the 6 significant digits "%.6g" keeps
+// (12345678 would come back as 1.23457e+07 — a corrupted ledger).
+bool IsExactInteger(double v) {
+  return std::isfinite(v) && v == std::floor(v) &&
+         std::fabs(v) <= 9007199254740992.0;  // 2^53
+}
+
+}  // namespace
 
 Status CsvWriter::Open(const std::string& path) {
   if (out_.is_open()) out_.close();
@@ -44,7 +58,12 @@ Status CsvWriter::WriteNumericRow(const std::vector<double>& values) {
   fields.reserve(values.size());
   char buf[64];
   for (double v : values) {
-    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    if (IsExactInteger(v)) {
+      std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    } else {
+      // 17 significant digits round-trip every finite double exactly.
+      std::snprintf(buf, sizeof(buf), "%.17g", v);
+    }
     fields.emplace_back(buf);
   }
   return WriteRow(fields);
@@ -90,8 +109,12 @@ Result<std::vector<std::vector<std::string>>> ParseCsv(
         field_started = true;  // a comma implies a field on both sides
         break;
       case '\r':
-        // Swallowed; the following '\n' (if any) terminates the row.
-        break;
+        // A row terminator: "\r\n" consumes the pair, a bare '\r'
+        // (old-Mac / truncated transfers) ends the row on its own. The
+        // old behaviour — swallowing every unquoted CR — silently glued
+        // "a\rb" into "ab" and never left a trailing '\r' to notice.
+        if (i + 1 < content.size() && content[i + 1] == '\n') ++i;
+        [[fallthrough]];
       case '\n':
         if (field_started || !field.empty() || !row.empty()) {
           row.push_back(std::move(field));

@@ -26,7 +26,11 @@ class CsvWriter {
   /// Writes one row. Returns FailedPrecondition if not open.
   Status WriteRow(const std::vector<std::string>& fields);
 
-  /// Convenience: formats doubles with 6 significant digits.
+  /// Convenience numeric formatting with exact round-trip guarantees:
+  /// integer-valued doubles up to 2^53 print as exact integers (byte
+  /// counters and client counts at fleet scale never lose digits), every
+  /// other finite double prints with 17 significant digits (lossless
+  /// double round-trip).
   Status WriteNumericRow(const std::vector<double>& values);
 
   /// Flushes and closes the file.
@@ -45,7 +49,9 @@ class CsvWriter {
 /// \brief Parses RFC 4180 CSV text into rows of fields.
 ///
 /// Handles quoted fields (including embedded commas, doubled quotes and
-/// newlines) and both \n and \r\n line endings. A trailing newline does not
+/// newlines) and \n, \r\n and bare-\r line endings — an unquoted CR is a
+/// row terminator, never part of a field, so externally written CRLF
+/// traces parse without trailing '\r' residue. A trailing newline does not
 /// produce an empty final row.
 Result<std::vector<std::vector<std::string>>> ParseCsv(
     const std::string& content);

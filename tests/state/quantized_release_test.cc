@@ -1,0 +1,183 @@
+// QuantizedStateStore release-path churn: an unchanged write-back (a
+// read-modify round that converged) must keep the cold payload instead of
+// re-encoding it, so resident bytes hold still across arbitrarily many
+// hot/cold cycles, and interleaved View/MutableView/Release across stripe
+// boundaries preserves the resident-byte invariant exactly.
+
+#include "state/quantized_store.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "comm/identity.h"
+#include "comm/quantize.h"
+#include "util/rng.h"
+
+namespace fedadmm {
+namespace {
+
+std::vector<StateSlotSpec> OneSlot(int64_t dim) {
+  std::vector<StateSlotSpec> slots(1);
+  slots[0].dim = dim;
+  return slots;
+}
+
+// Writes `value` into (client, 0) and releases, returning resident bytes.
+int64_t WriteAndRelease(QuantizedStateStore* store, int client,
+                        const std::vector<float>& value) {
+  std::span<float> w = store->MutableView(client, 0);
+  std::memcpy(w.data(), value.data(), value.size() * sizeof(float));
+  store->Release(client);
+  return store->bytes_resident();
+}
+
+TEST(QuantizedReleaseTest, UnchangedWriteBackDoesNotChurnResidentBytes) {
+  QuantizedStateStore store(/*bits=*/8);
+  store.Configure(/*num_clients=*/4, OneSlot(64));
+  std::vector<float> value(64);
+  Rng rng(0x0DDB17u);
+  for (float& v : value) v = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  const int64_t after_first = WriteAndRelease(&store, 0, value);
+  EXPECT_GT(after_first, 0);
+  // The client now re-reads its own (lossy) state and writes it back
+  // unchanged — the convergence steady-state. Bytes must not move, cycle
+  // after cycle.
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    const std::vector<float> seen(store.View(0, 0).begin(),
+                                  store.View(0, 0).end());
+    store.Release(0);  // drop the read-side hot copy
+    EXPECT_EQ(store.bytes_resident(), after_first) << "cycle " << cycle;
+    EXPECT_EQ(WriteAndRelease(&store, 0, seen), after_first)
+        << "cycle " << cycle;
+  }
+  // A genuinely different write still persists (and may change bytes for
+  // variable-size codecs; for the fixed-size quantizer it stays equal but
+  // the *decoded value* must update).
+  std::vector<float> changed = value;
+  changed[0] += 10.0f;
+  WriteAndRelease(&store, 0, changed);
+  EXPECT_NEAR(store.View(0, 0)[0], changed[0], 0.1f);
+  store.Release(0);
+}
+
+TEST(QuantizedReleaseTest, SkipPreservesExactColdPayloadValues) {
+  // After the skip, a re-read must see the *identical* floats it wrote
+  // back — not a doubly-quantized drift.
+  QuantizedStateStore store(/*bits=*/4);
+  store.Configure(/*num_clients=*/1, OneSlot(16));
+  std::vector<float> value(16);
+  for (size_t i = 0; i < value.size(); ++i) {
+    value[i] = static_cast<float>(i) * 0.3f - 2.0f;
+  }
+  WriteAndRelease(&store, 0, value);
+  const std::vector<float> first_read(store.View(0, 0).begin(),
+                                      store.View(0, 0).end());
+  store.Release(0);
+  // Write back what was read; repeat. Every subsequent read must be
+  // bitwise identical to the first decoded view.
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    WriteAndRelease(&store, 0, first_read);
+    const std::span<const float> r = store.View(0, 0);
+    ASSERT_EQ(r.size(), first_read.size());
+    for (size_t i = 0; i < first_read.size(); ++i) {
+      EXPECT_EQ(r[i], first_read[i]) << "cycle " << cycle << " i " << i;
+    }
+    store.Release(0);
+  }
+}
+
+TEST(QuantizedReleaseTest, ResidentInvariantAcrossStripeInterleavings) {
+  // Clients 0..199 span all 64 mutex stripes (clients 64, 65, ... share
+  // stripes with 0, 1, ...). Interleave mutable touches, reads and
+  // releases in a scrambled order, mirroring the store's hot/cold/dirty
+  // state machine exactly, and assert after every step:
+  //   bytes_resident == #cold * WireBytes(d) + #hot * d * 4.
+  const int kClients = 200;
+  const int64_t kDim = 32;
+  QuantizedStateStore store(/*bits=*/8);
+  store.Configure(kClients, OneSlot(kDim));
+  const int64_t cold_bytes =
+      UniformQuantCodec(8).WireBytes(kDim);  // fixed-size codec
+  const int64_t hot_bytes = kDim * static_cast<int64_t>(sizeof(float));
+  std::vector<char> hot(kClients, 0), cold(kClients, 0), dirty(kClients, 0);
+  int64_t num_hot = 0, num_cold = 0;
+  Rng rng(0x57217Eu);
+  for (int step = 0; step < 2000; ++step) {
+    const size_t c = static_cast<size_t>(rng.UniformInt(0, kClients - 1));
+    const int64_t action = rng.UniformInt(0, 2);
+    if (action == 0) {
+      // Mutable touch: materializes hot (from cold decode or init), dirty.
+      std::span<float> w = store.MutableView(static_cast<int>(c), 0);
+      w[0] = static_cast<float>(step);  // genuinely change bytes
+      num_hot += hot[c] ? 0 : 1;
+      hot[c] = 1;
+      dirty[c] = 1;
+    } else if (action == 1) {
+      // Read: decodes into the (clean) hot cache only when cold exists;
+      // a never-touched client reads the shared init at zero cost.
+      store.View(static_cast<int>(c), 0);
+      if (cold[c] && !hot[c]) {
+        hot[c] = 1;
+        ++num_hot;
+      }
+    } else {
+      // Release: a dirty hot entry persists cold (fixed-size payload, so
+      // cold bytes never change once present); a clean one just drops.
+      store.Release(static_cast<int>(c));
+      if (hot[c]) {
+        if (dirty[c] && !cold[c]) {
+          cold[c] = 1;
+          ++num_cold;
+        }
+        dirty[c] = 0;
+        hot[c] = 0;
+        --num_hot;
+      }
+    }
+    ASSERT_EQ(store.bytes_resident(),
+              num_cold * cold_bytes + num_hot * hot_bytes)
+        << "step " << step << " action " << action << " client " << c;
+  }
+  // Drain: only cold payloads of touched clients remain.
+  for (size_t c = 0; c < static_cast<size_t>(kClients); ++c) {
+    store.Release(static_cast<int>(c));
+    if (hot[c] && dirty[c] && !cold[c]) {
+      cold[c] = 1;
+      ++num_cold;
+    }
+    hot[c] = 0;
+  }
+  int64_t touched_entries = 0;
+  store.ForEachTouched(
+      [&](int, int, std::span<const float>) { ++touched_entries; });
+  EXPECT_EQ(store.bytes_resident(), touched_entries * cold_bytes);
+  EXPECT_EQ(store.num_touched_clients(), static_cast<int>(num_cold));
+}
+
+TEST(QuantizedReleaseTest, EncodeDecodeEncodeIsStableAcrossBitWidths) {
+  // The skip optimization does NOT rely on codec idempotence — it keeps
+  // the original payload — but the quantizers happen to be idempotent
+  // (grid points re-quantize to themselves), which this documents:
+  // Encode(Decode(Encode(x))) == Encode(x) bytewise.
+  Rng rng(0x1DE4Bu);
+  std::vector<float> v(48);
+  for (float& x : v) x = static_cast<float>(rng.Uniform(-3.0, 3.0));
+  for (int bits : {1, 2, 4, 8, 12, 16}) {
+    UniformQuantCodec codec(bits);
+    const Payload p1 = codec.Encode(/*stream=*/0, v, nullptr);
+    const std::vector<float> d1 = codec.Decode(p1);
+    const Payload p2 = codec.Encode(/*stream=*/0, d1, nullptr);
+    EXPECT_EQ(p1.bytes, p2.bytes) << "bits=" << bits;
+  }
+  IdentityCodec identity;
+  const Payload p1 = identity.Encode(0, v, nullptr);
+  const Payload p2 = identity.Encode(0, identity.Decode(p1), nullptr);
+  EXPECT_EQ(p1.bytes, p2.bytes);
+}
+
+}  // namespace
+}  // namespace fedadmm

@@ -1,0 +1,190 @@
+// Property/fuzz coverage for the engine's event ordering: random
+// push/pop interleavings must always pop in strict (time, sequence)
+// order, equal times must break ties by dispatch sequence, and the
+// sharded per-worker heaps (ShardedEventQueue) must merge into exactly
+// the pop order of a single global heap at every shard count.
+
+#include "sys/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace fedadmm {
+namespace {
+
+ClientCompletionEvent Event(double time, int64_t sequence, int client) {
+  ClientCompletionEvent e;
+  e.time = time;
+  e.sequence = sequence;
+  e.client_id = client;
+  return e;
+}
+
+// Strict total order on (time, sequence); sequence is unique per run.
+bool StrictlyOrdered(const ClientCompletionEvent& a,
+                     const ClientCompletionEvent& b) {
+  if (a.time != b.time) return a.time < b.time;
+  return a.sequence < b.sequence;
+}
+
+// A randomized stream of events with intentionally heavy time ties:
+// times are drawn from a small grid so equal-time groups are common and
+// the sequence tie-break is exercised, not just reachable.
+std::vector<ClientCompletionEvent> RandomEvents(Rng* rng, int n,
+                                                int num_clients) {
+  std::vector<ClientCompletionEvent> events;
+  events.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const double time = 0.25 * static_cast<double>(rng->UniformInt(0, 40));
+    const int client = static_cast<int>(rng->UniformInt(0, num_clients - 1));
+    events.push_back(Event(time, /*sequence=*/i, client));
+  }
+  // Push order must not matter: shuffle away the sequence correlation.
+  rng->Shuffle(&events);
+  return events;
+}
+
+TEST(EventQueuePropertyTest, RandomPushPopInterleavingsPopInOrder) {
+  Rng rng(0xE7E27u);
+  for (int trial = 0; trial < 50; ++trial) {
+    Rng trial_rng = rng.Fork(static_cast<uint64_t>(trial));
+    const std::vector<ClientCompletionEvent> events =
+        RandomEvents(&trial_rng, /*n=*/120, /*num_clients=*/17);
+    EventQueue queue;
+    size_t pushed = 0;
+    std::vector<ClientCompletionEvent> popped;
+    // Interleave: at each step flip a coin between push (while events
+    // remain) and pop (while the queue is non-empty).
+    while (pushed < events.size() || !queue.empty()) {
+      const bool can_push = pushed < events.size();
+      const bool do_push =
+          can_push && (queue.empty() || trial_rng.Bernoulli(0.55));
+      if (do_push) {
+        queue.Push(events[pushed++]);
+      } else {
+        popped.push_back(queue.Pop());
+      }
+    }
+    ASSERT_EQ(popped.size(), events.size());
+    // Each pop is the minimum of what was in the queue at that moment, so
+    // the full popped stream need not be globally sorted — but within any
+    // stretch with no interleaved push it must be, and every event must
+    // come out exactly once. Check the exactly-once property here; global
+    // order is checked in the drain test below.
+    std::vector<char> seen(events.size(), 0);
+    for (const ClientCompletionEvent& e : popped) {
+      ASSERT_GE(e.sequence, 0);
+      ASSERT_LT(static_cast<size_t>(e.sequence), events.size());
+      EXPECT_EQ(seen[static_cast<size_t>(e.sequence)], 0)
+          << "event popped twice";
+      seen[static_cast<size_t>(e.sequence)] = 1;
+    }
+  }
+}
+
+TEST(EventQueuePropertyTest, FullDrainIsStrictlySortedWithSequenceTies) {
+  Rng rng(0xD7A14u);
+  for (int trial = 0; trial < 50; ++trial) {
+    Rng trial_rng = rng.Fork(static_cast<uint64_t>(trial));
+    const std::vector<ClientCompletionEvent> events =
+        RandomEvents(&trial_rng, /*n=*/200, /*num_clients=*/23);
+    EventQueue queue;
+    for (const ClientCompletionEvent& e : events) queue.Push(e);
+    std::vector<ClientCompletionEvent> popped;
+    while (!queue.empty()) popped.push_back(queue.Pop());
+    ASSERT_EQ(popped.size(), events.size());
+    for (size_t i = 1; i < popped.size(); ++i) {
+      EXPECT_TRUE(StrictlyOrdered(popped[i - 1], popped[i]))
+          << "trial " << trial << " position " << i << ": ("
+          << popped[i - 1].time << "," << popped[i - 1].sequence
+          << ") !< (" << popped[i].time << "," << popped[i].sequence << ")";
+    }
+  }
+}
+
+TEST(EventQueuePropertyTest, ShardedDrainMatchesGlobalHeapAtEveryW) {
+  Rng rng(0x5AADEDu);
+  const int shard_counts[] = {1, 2, 3, 4, 8};
+  for (int trial = 0; trial < 30; ++trial) {
+    Rng trial_rng = rng.Fork(static_cast<uint64_t>(trial));
+    const std::vector<ClientCompletionEvent> events =
+        RandomEvents(&trial_rng, /*n=*/150, /*num_clients=*/31);
+    // Reference: one global heap.
+    EventQueue global;
+    for (const ClientCompletionEvent& e : events) global.Push(e);
+    std::vector<ClientCompletionEvent> reference;
+    while (!global.empty()) reference.push_back(global.Pop());
+    for (int w : shard_counts) {
+      ShardedEventQueue sharded(w);
+      EXPECT_EQ(sharded.num_shards(), w);
+      for (const ClientCompletionEvent& e : events) sharded.Push(e);
+      EXPECT_EQ(sharded.size(), static_cast<int>(events.size()));
+      int shard_total = 0;
+      for (int s = 0; s < sharded.num_shards(); ++s) {
+        shard_total += sharded.shard_size(s);
+      }
+      EXPECT_EQ(shard_total, sharded.size());
+      for (size_t i = 0; i < reference.size(); ++i) {
+        ASSERT_FALSE(sharded.empty());
+        EXPECT_EQ(sharded.Peek().sequence, reference[i].sequence);
+        const ClientCompletionEvent e = sharded.Pop();
+        EXPECT_EQ(e.sequence, reference[i].sequence) << "W=" << w;
+        EXPECT_EQ(e.client_id, reference[i].client_id) << "W=" << w;
+        EXPECT_EQ(e.time, reference[i].time) << "W=" << w;
+      }
+      EXPECT_TRUE(sharded.empty());
+    }
+  }
+}
+
+TEST(EventQueuePropertyTest, ShardedInterleavedPushPopMatchesGlobal) {
+  // Same coin-flip interleaving run in lockstep against both queues: the
+  // two must agree pop-by-pop even when pushes arrive mid-drain.
+  Rng rng(0x1E4A7u);
+  const int shard_counts[] = {2, 4, 8};
+  for (int w : shard_counts) {
+    for (int trial = 0; trial < 20; ++trial) {
+      Rng trial_rng = rng.Fork(static_cast<uint64_t>(w),
+                               static_cast<uint64_t>(trial));
+      const std::vector<ClientCompletionEvent> events =
+          RandomEvents(&trial_rng, /*n=*/100, /*num_clients=*/13);
+      EventQueue global;
+      ShardedEventQueue sharded(w);
+      size_t pushed = 0;
+      while (pushed < events.size() || !global.empty()) {
+        const bool can_push = pushed < events.size();
+        const bool do_push =
+            can_push && (global.empty() || trial_rng.Bernoulli(0.5));
+        if (do_push) {
+          global.Push(events[pushed]);
+          sharded.Push(events[pushed]);
+          ++pushed;
+        } else {
+          const ClientCompletionEvent a = global.Pop();
+          const ClientCompletionEvent b = sharded.Pop();
+          ASSERT_EQ(a.sequence, b.sequence) << "W=" << w;
+          ASSERT_EQ(a.client_id, b.client_id) << "W=" << w;
+          ASSERT_EQ(a.time, b.time) << "W=" << w;
+        }
+        ASSERT_EQ(global.size(), sharded.size());
+      }
+      EXPECT_TRUE(sharded.empty());
+    }
+  }
+}
+
+TEST(EventQueuePropertyTest, ShardedClampsNonPositiveShardCounts) {
+  ShardedEventQueue zero(0);
+  EXPECT_EQ(zero.num_shards(), 1);
+  ShardedEventQueue negative(-3);
+  EXPECT_EQ(negative.num_shards(), 1);
+  zero.Push(Event(1.0, 0, 42));
+  EXPECT_EQ(zero.Pop().client_id, 42);
+}
+
+}  // namespace
+}  // namespace fedadmm

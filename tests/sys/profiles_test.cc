@@ -126,6 +126,43 @@ TEST(FleetModelTest, CsvTraceColumnRoundTrips) {
   std::remove(path.c_str());
 }
 
+TEST(FleetModelTest, CrlfTerminatedTraceCsvParsesExactly) {
+  // Fleet traces exported on Windows (or shuttled through tools that
+  // normalize to \r\n) must load with every numeric field exact — the old
+  // parser swallowed unquoted CRs silently, which at least left numbers
+  // intact, but a strict-suffix numeric validator would reject "1\r";
+  // either way CRLF handling belongs in the parser, not each caller.
+  const std::string path = ::testing::TempDir() + "/fleet_crlf.csv";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs(
+      "client,steps_per_second,upload_bytes_per_second,"
+      "download_bytes_per_second,latency_seconds,availability,trace\r\n"
+      "0,123.5,1048576,2097152,0.025,0.75,101\r\n"
+      "1,16777217,1e6,1e6,0.01,1,\r\n",
+      f);
+  std::fclose(f);
+  const auto loaded = FleetModel::FromTraceCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const FleetModel& fleet = loaded.ValueOrDie();
+  ASSERT_EQ(fleet.num_clients(), 2);
+  EXPECT_DOUBLE_EQ(fleet.profile(0).device.steps_per_second, 123.5);
+  EXPECT_DOUBLE_EQ(fleet.profile(0).network.upload_bytes_per_second,
+                   1048576.0);
+  EXPECT_DOUBLE_EQ(fleet.profile(0).network.download_bytes_per_second,
+                   2097152.0);
+  EXPECT_DOUBLE_EQ(fleet.profile(0).network.latency_seconds, 0.025);
+  EXPECT_DOUBLE_EQ(fleet.profile(0).device.availability, 0.75);
+  EXPECT_EQ(fleet.profile(0).device.availability_trace,
+            (std::vector<uint8_t>{1, 0, 1}));
+  // The last field of a CRLF row must not carry the '\r' (it is the trace
+  // column here; an empty trace must stay empty, not become "\r").
+  EXPECT_TRUE(fleet.profile(1).device.availability_trace.empty());
+  // > 2^24: digit-exact through parse (pairs with the writer guarantee).
+  EXPECT_DOUBLE_EQ(fleet.profile(1).device.steps_per_second, 16777217.0);
+  std::remove(path.c_str());
+}
+
 TEST(FleetModelTest, MalformedCsvIsRejected) {
   const std::string path = ::testing::TempDir() + "/fleet_bad.csv";
   auto write = [&](const char* body) {

@@ -1,0 +1,148 @@
+// AxpyManySharded: the sharded server's hierarchical reduce. W = 1 must
+// be bitwise identical to the flat AxpyMany path; W > 1 must be bitwise
+// reproducible across thread counts (fixed per-shard partials combined
+// in shard order), match a double-precision reference within float
+// tolerance, and leave signed zeros untouched for empty shards.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/vec.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace fedadmm {
+namespace {
+
+std::vector<std::vector<float>> RandomVectors(Rng* rng, int count,
+                                              size_t dim) {
+  std::vector<std::vector<float>> xs(static_cast<size_t>(count));
+  for (auto& x : xs) {
+    x.resize(dim);
+    for (float& v : x) {
+      v = static_cast<float>(rng->Uniform(-2.0, 2.0));
+    }
+  }
+  return xs;
+}
+
+std::vector<std::span<const float>> Spans(
+    const std::vector<std::vector<float>>& xs) {
+  std::vector<std::span<const float>> spans;
+  spans.reserve(xs.size());
+  for (const auto& x : xs) spans.emplace_back(x.data(), x.size());
+  return spans;
+}
+
+std::vector<int> ModuloShards(int count, int num_shards) {
+  std::vector<int> shards(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    shards[static_cast<size_t>(i)] = i % num_shards;
+  }
+  return shards;
+}
+
+TEST(ShardedReduceTest, WEqualsOneIsBitwiseIdenticalToAxpyMany) {
+  Rng rng(0xA11CEu);
+  for (size_t dim : std::vector<size_t>{1, 7, 1000, vec::kReduceBlock + 13}) {
+    const auto xs = RandomVectors(&rng, 9, dim);
+    std::vector<float> flat(dim, 0.5f), sharded(dim, 0.5f);
+    vec::AxpyMany(0.375f, Spans(xs), flat);
+    vec::AxpyManySharded(0.375f, Spans(xs), ModuloShards(9, 1),
+                         /*num_shards=*/1, sharded);
+    EXPECT_EQ(flat, sharded) << "dim " << dim;
+  }
+}
+
+TEST(ShardedReduceTest, FixedWIsBitwiseStableAcrossThreadCounts) {
+  Rng rng(0xB0B5u);
+  const size_t dim = 3 * vec::kReduceBlock + 77;
+  const auto xs = RandomVectors(&rng, 24, dim);
+  const auto spans = Spans(xs);
+  for (int w : {2, 4, 7}) {
+    const std::vector<int> shards = ModuloShards(24, w);
+    std::vector<float> serial(dim, -1.0f);
+    vec::AxpyManySharded(0.125f, spans, shards, w, serial,
+                         /*pool=*/nullptr);
+    for (int threads : {1, 2, 4, 8}) {
+      ThreadPool pool(threads);
+      std::vector<float> parallel(dim, -1.0f);
+      vec::AxpyManySharded(0.125f, spans, shards, w, parallel, &pool);
+      ASSERT_EQ(parallel, serial) << "W=" << w << " threads=" << threads;
+    }
+  }
+}
+
+TEST(ShardedReduceTest, MatchesDoublePrecisionReferenceWithinTolerance) {
+  Rng rng(0xC4FEu);
+  const size_t dim = 513;
+  const int count = 40;
+  const auto xs = RandomVectors(&rng, count, dim);
+  std::vector<double> reference(dim, 0.25);
+  for (const auto& x : xs) {
+    for (size_t i = 0; i < dim; ++i) {
+      reference[i] += 0.05 * static_cast<double>(x[i]);
+    }
+  }
+  for (int w : {1, 2, 4, 8}) {
+    std::vector<float> y(dim, 0.25f);
+    vec::AxpyManySharded(0.05f, Spans(xs), ModuloShards(count, w), w, y);
+    for (size_t i = 0; i < dim; ++i) {
+      EXPECT_NEAR(static_cast<double>(y[i]), reference[i], 1e-4)
+          << "W=" << w << " index " << i;
+    }
+  }
+}
+
+TEST(ShardedReduceTest, EmptyShardsDoNotPerturbSignedZeros) {
+  // y starts at -0.0 and every shard is empty: a naive combine that adds
+  // all W zero partials would flip -0.0 to +0.0 (-0.0 + 0.0 == +0.0).
+  // Empty shards must contribute nothing at all.
+  std::vector<float> y = {-0.0f, -0.0f, -0.0f};
+  vec::AxpyManySharded(1.0f, {}, {}, /*num_shards=*/8, y);
+  for (float v : y) {
+    EXPECT_TRUE(std::signbit(v)) << "-0.0 flipped to +0.0";
+  }
+  // A *non-empty* shard behaves exactly like the flat path — its +0.0
+  // partial flips the sign there too, so sharded and flat stay bitwise
+  // consistent on zero inputs.
+  const std::vector<std::vector<float>> xs = {{0.0f, 0.0f, 0.0f}};
+  std::vector<float> flat = {-0.0f, -0.0f, -0.0f};
+  std::vector<float> sharded = {-0.0f, -0.0f, -0.0f};
+  vec::AxpyMany(1.0f, Spans(xs), flat);
+  vec::AxpyManySharded(1.0f, Spans(xs), {0}, /*num_shards=*/8, sharded);
+  for (size_t i = 0; i < flat.size(); ++i) {
+    EXPECT_EQ(std::signbit(sharded[i]), std::signbit(flat[i])) << i;
+    EXPECT_EQ(sharded[i], flat[i]);
+  }
+}
+
+TEST(ShardedReduceTest, EmptyInputLeavesTargetUntouched) {
+  std::vector<float> y = {1.0f, 2.0f};
+  vec::AxpyManySharded(3.0f, {}, {}, /*num_shards=*/4, y);
+  EXPECT_EQ(y, (std::vector<float>{1.0f, 2.0f}));
+}
+
+TEST(ShardedReduceTest, ShardMajorityImbalanceStillCoversAllVectors) {
+  // All vectors on one shard, the rest empty: result equals the flat sum.
+  Rng rng(0xD00Du);
+  const auto xs = RandomVectors(&rng, 6, 129);
+  std::vector<float> flat(129, 0.0f), skewed(129, 0.0f);
+  vec::AxpyMany(1.0f, Spans(xs), flat);
+  vec::AxpyManySharded(1.0f, Spans(xs), std::vector<int>(6, 2),
+                       /*num_shards=*/5, skewed);
+  // One shard's partial in list order, added once to a zero target: the
+  // float-op sequence per element matches the flat path exactly except for
+  // the final (+ partial) regrouping; with a zero target the two agree
+  // bitwise only when addition to 0 is exact — assert tolerance instead.
+  for (size_t i = 0; i < flat.size(); ++i) {
+    EXPECT_NEAR(skewed[i], flat[i], 1e-5f) << "index " << i;
+  }
+}
+
+}  // namespace
+}  // namespace fedadmm

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -45,6 +46,77 @@ TEST_F(CsvTest, NumericRowFormatting) {
   ASSERT_TRUE(w.WriteNumericRow({1.0, 0.5, 100000.0}).ok());
   ASSERT_TRUE(w.Close().ok());
   EXPECT_EQ(ReadFile(path_), "1,0.5,100000\n");
+}
+
+TEST_F(CsvTest, NumericRowKeepsLargeIntegersExact) {
+  // Byte counters at fleet scale blow past both float32's 2^24 integer
+  // range and the old "%.6g" formatting (12345678 used to come back as
+  // 1.23457e+07). Integers must print digit-exact up to 2^53.
+  CsvWriter w;
+  ASSERT_TRUE(w.Open(path_).ok());
+  ASSERT_TRUE(w.WriteNumericRow({12345678.0, 16777217.0,  // 2^24 + 1
+                                 123456789012345.0, -987654321.0,
+                                 9007199254740992.0})  // 2^53
+                  .ok());
+  ASSERT_TRUE(w.Close().ok());
+  EXPECT_EQ(ReadFile(path_),
+            "12345678,16777217,123456789012345,-987654321,"
+            "9007199254740992\n");
+}
+
+TEST_F(CsvTest, NumericRowRoundTripsThroughParse) {
+  // Write → parse → strtod must reproduce every value bitwise: exact
+  // integers beyond 2^24 and full-precision doubles alike.
+  const std::vector<double> values = {12345678.0,
+                                      1e15 + 1.0,
+                                      0.1,
+                                      1.0 / 3.0,
+                                      -2.718281828459045,
+                                      6.02214076e23};
+  CsvWriter w;
+  ASSERT_TRUE(w.Open(path_).ok());
+  ASSERT_TRUE(w.WriteNumericRow(values).ok());
+  ASSERT_TRUE(w.Close().ok());
+  const auto rows = ReadCsvFile(path_).ValueOrDie();
+  ASSERT_EQ(rows.size(), 1u);
+  ASSERT_EQ(rows[0].size(), values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(std::strtod(rows[0][i].c_str(), nullptr), values[i])
+        << "column " << i << " = '" << rows[0][i] << "'";
+  }
+}
+
+TEST_F(CsvTest, ParseCsvCrlfRowsLeaveNoCarriageReturnResidue) {
+  // Externally written fleet traces use \r\n; no field — least of all the
+  // last one per row — may keep a trailing '\r'.
+  const auto rows =
+      ParseCsv("client_id,steps_per_second\r\n0,100.5\r\n1,80\r\n")
+          .ValueOrDie();
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0],
+            (std::vector<std::string>{"client_id", "steps_per_second"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"0", "100.5"}));
+  EXPECT_EQ(rows[2], (std::vector<std::string>{"1", "80"}));
+  for (const auto& row : rows) {
+    for (const auto& field : row) {
+      EXPECT_EQ(field.find('\r'), std::string::npos);
+    }
+  }
+}
+
+TEST_F(CsvTest, ParseCsvBareCarriageReturnTerminatesRow) {
+  // Old-Mac endings (and CR-truncated transfers): a bare unquoted '\r' is
+  // a row break, not silently deleted mid-field ("a\rb" used to glue into
+  // "ab").
+  const auto rows = ParseCsv("a,b\rc,d\re").ValueOrDie();
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"c", "d"}));
+  EXPECT_EQ(rows[2], (std::vector<std::string>{"e"}));
+  // A quoted CR is still field content.
+  const auto quoted = ParseCsv("\"a\rb\",c\n").ValueOrDie();
+  ASSERT_EQ(quoted.size(), 1u);
+  EXPECT_EQ(quoted[0], (std::vector<std::string>{"a\rb", "c"}));
 }
 
 TEST_F(CsvTest, WriteWithoutOpenFails) {
