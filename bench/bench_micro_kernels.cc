@@ -2,18 +2,28 @@
 /// \brief google-benchmark microbenchmarks of the compute kernels backing
 /// the simulator: GEMM, im2col convolution, pooling, softmax, and the flat
 /// vector operations on the FL hot path.
+///
+/// Besides the usual console table, every run tees its results into the
+/// obs perf rail (obs/bench_recorder.h): per-iteration real/CPU seconds
+/// land in a BENCH_kernels.json document (FEDADMM_BENCH_JSON, default
+/// "BENCH_kernels.json") that `tools/bench_diff` gates against the
+/// committed baseline at the repo root.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/fedadmm.h"
 #include "fl/algorithm.h"
 #include "nn/model_zoo.h"
+#include "obs/bench_recorder.h"
 #include "tensor/tensor_ops.h"
 #include "tensor/vec.h"
+#include "util/env.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -202,7 +212,52 @@ void BM_MaxPool(benchmark::State& state) {
 }
 BENCHMARK(BM_MaxPool)->Arg(12)->Arg(28);
 
+// Console output as usual, plus one BenchResult per benchmark run. The
+// `_wall_seconds` suffix puts the timings in the wall-clock gating class
+// (percentage tolerance, regressions only); iteration counts are
+// adaptive, hence informational.
+class JsonTeeReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonTeeReporter(obs::BenchRecorder* recorder)
+      : recorder_(recorder) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      const double iters =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      obs::BenchResult* row = recorder_->AddResult(run.benchmark_name());
+      row->AddMetric("iterations", static_cast<int64_t>(run.iterations));
+      row->AddMetric("real_wall_seconds", run.real_accumulated_time / iters);
+      row->AddMetric("cpu_wall_seconds", run.cpu_accumulated_time / iters);
+    }
+  }
+
+ private:
+  obs::BenchRecorder* recorder_;
+};
+
 }  // namespace
 }  // namespace fedadmm
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+
+  fedadmm::obs::BenchRecorder recorder("kernels");
+  recorder.AddContext("scale",
+                      fedadmm::GetEnvString("FEDADMM_BENCH_SCALE", "small"));
+  fedadmm::JsonTeeReporter reporter(&recorder);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  const std::string json_path =
+      fedadmm::GetEnvString("FEDADMM_BENCH_JSON", "BENCH_kernels.json");
+  if (!recorder.WriteFile(json_path).ok()) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::printf("perf rail written to %s\n", json_path.c_str());
+  return 0;
+}

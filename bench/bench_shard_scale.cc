@@ -24,10 +24,17 @@
 /// `store` context columns ahead of the canonical fl/history_csv round
 /// columns (wall_seconds forced to 0).
 ///
+/// Besides stdout + CSV, each W lands one row in the obs perf rail
+/// (BENCH_shard_scale.json via FEDADMM_BENCH_JSON): deterministic resident
+/// bytes and aggregation counts gate at 0% in tools/bench_diff, the run's
+/// wall seconds plus the engine's per-phase aggregate latency histogram
+/// (obs metrics registry, reset per W) at the wall-clock tolerance.
+///
 /// Knobs: FEDADMM_BENCH_CLIENTS (default 1000000), FEDADMM_BENCH_SHARDS
 /// (default "1,2,4,8"), FEDADMM_BENCH_THREADS (default 8),
 /// FEDADMM_BENCH_STORE (default "lazy"), FEDADMM_BENCH_STATE_DIM (default
-/// 128), FEDADMM_BENCH_ROUNDS, FEDADMM_BENCH_SCALE, FEDADMM_BENCH_CSV.
+/// 128), FEDADMM_BENCH_ROUNDS, FEDADMM_BENCH_SCALE, FEDADMM_BENCH_CSV,
+/// FEDADMM_BENCH_JSON (default "BENCH_shard_scale.json").
 
 #include <chrono>
 #include <cinttypes>
@@ -43,6 +50,8 @@
 #include "fl/history_csv.h"
 #include "fl/selection.h"
 #include "fl/simulation.h"
+#include "obs/bench_recorder.h"
+#include "obs/metrics.h"
 #include "state/sharded_store.h"
 #include "sys/system_model.h"
 #include "tensor/vec.h"
@@ -213,6 +222,17 @@ int main() {
     return 1;
   }
 
+  obs::BenchRecorder recorder("shard_scale");
+  recorder.AddContext("clients", static_cast<int64_t>(clients));
+  recorder.AddContext("dim", dim);
+  recorder.AddContext("threads", static_cast<int64_t>(threads));
+  recorder.AddContext("rounds", static_cast<int64_t>(rounds));
+  recorder.AddContext("store", store);
+  // Enable the obs registry for the whole sweep: the engine's phase
+  // histograms feed per-W latency metrics, and the equivalence tests
+  // guarantee enabling it cannot move the trajectories.
+  obs::MetricsRegistry::Global().set_enabled(true);
+
   // One shared fleet + problem: availability churn filters selection; the
   // schedule (selection, timing, byte ledgers) is identical across W.
   MeanFieldProblem problem(clients, dim, /*seed=*/17);
@@ -251,6 +271,7 @@ int main() {
     config.num_shards = w;
     Simulation sim(&problem, &algo, &selector, config);
     sim.set_system_model(&model);
+    obs::MetricsRegistry::Global().ResetValues();  // scope metrics per W
     const auto start = Clock::now();
     const History history = std::move(sim.Run()).ValueOrDie();
     const double wall =
@@ -272,6 +293,21 @@ int main() {
         }
       }
     }
+
+    obs::BenchResult* row = recorder.AddResult("W=" + std::to_string(w));
+    row->AddMetric("aggregations_count",
+                   static_cast<int64_t>(history.size()));
+    row->AddMetric("state_resident_bytes", resident);
+    row->AddMetric("max_shard_resident_bytes", max_shard);
+    row->AddMetric("upload_bytes", history.TotalUploadBytes());
+    row->AddMetric("run_wall_seconds", wall);
+    row->AddMetric("speedup", wall > 0.0 ? base_wall / wall : 0.0);
+    row->AddMetric("final_accuracy", history.FinalAccuracy());
+    const obs::MetricsSnapshot snapshot =
+        obs::MetricsRegistry::Global().Snapshot();
+    row->AddLatencyMetrics(
+        "aggregate", "_wall_seconds",
+        snapshot.AggregateHistograms("server/phase/aggregate_seconds"));
     std::printf("%-7d | %9d | %9.2f | %7.2fx | %12s | %14s | %9.4f\n", w,
                 history.size(), wall,
                 wall > 0.0 ? base_wall / wall : 0.0,
@@ -310,6 +346,13 @@ int main() {
     std::fprintf(stderr, "CSV close failed\n");
     return 1;
   }
+  const std::string json_path =
+      GetEnvString("FEDADMM_BENCH_JSON", "BENCH_shard_scale.json");
+  if (!recorder.WriteFile(json_path).ok()) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::printf("perf rail written to %s\n", json_path.c_str());
   std::printf(
       "\nAccuracy trajectories agree across W (max drift %.3e <= 1e-6):\n"
       "the hierarchical reduce only regroups float additions. Each W is\n"

@@ -31,16 +31,26 @@
 /// fl/history_csv round columns (wall_seconds forced to 0 — identical
 /// seeds produce identical files).
 ///
+/// Besides stdout + CSV, the run's summary statistics land in the obs perf
+/// rail: a BENCH_time_to_accuracy.json document (FEDADMM_BENCH_JSON) with
+/// one result row per (preset, policy, codec, mode, algorithm) run —
+/// deterministic metrics (rounds/sim-seconds to target, byte ledgers) gate
+/// at 0% in tools/bench_diff, accuracies ride along as informational.
+///
 /// Knobs: FEDADMM_BENCH_ROUNDS, FEDADMM_BENCH_SCALE, FEDADMM_BENCH_CSV,
+/// FEDADMM_BENCH_JSON (default "BENCH_time_to_accuracy.json"),
 /// FEDADMM_BENCH_DEADLINE_PCTL (percentile of full-work client time used as
 /// the round deadline, default 60), FEDADMM_BENCH_CODECS (comma-separated
 /// uplink codec specs, default "identity,q8,topk10"; see comm/codec.h),
+/// FEDADMM_BENCH_PRESETS (comma-separated fleet presets, default
+/// "uniform,lognormal-speed,cellular,cross-device-churn"),
 /// FEDADMM_BENCH_MODES (default "sync,buffered,async"),
 /// FEDADMM_BENCH_STALENESS ("constant" or "poly:<a>", default "constant").
 
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -48,6 +58,7 @@
 #include "bench/bench_common.h"
 #include "comm/codec.h"
 #include "fl/history_csv.h"
+#include "obs/bench_recorder.h"
 #include "sys/system_model.h"
 
 namespace {
@@ -109,6 +120,28 @@ History RunWithSystem(Scenario* scenario, FederatedAlgorithm* algo,
   return std::move(sim.Run()).ValueOrDie();
 }
 
+// One perf-rail row per run, named "preset/policy/codec/mode/algo".
+// Unreached targets record null (NaN), mirroring the table's "N+" / "--".
+void RecordRun(obs::BenchRecorder* recorder, const std::string& preset,
+               const std::string& policy, const std::string& codec,
+               const std::string& mode, const std::string& algo,
+               const History& h) {
+  obs::BenchResult* row = recorder->AddResult(preset + "/" + policy + "/" +
+                                              codec + "/" + mode + "/" + algo);
+  const int to_rounds = h.RoundsToAccuracy(kTargetAccuracy);
+  const double to_sim = h.SimSecondsToAccuracy(kTargetAccuracy);
+  row->AddMetric("to_target_rounds",
+                 to_rounds < 0 ? std::numeric_limits<double>::quiet_NaN()
+                               : static_cast<double>(to_rounds));
+  row->AddMetric("to_target_sim_seconds",
+                 to_sim < 0.0 ? std::numeric_limits<double>::quiet_NaN()
+                              : to_sim);
+  row->AddMetric("total_sim_seconds", h.TotalSimSeconds());
+  row->AddMetric("dropped_count", static_cast<int64_t>(h.TotalDropped()));
+  row->AddMetric("upload_bytes", h.TotalUploadBytes());
+  row->AddMetric("final_accuracy", h.FinalAccuracy());
+}
+
 void PrintRow(const char* preset, const std::string& policy,
               const std::string& codec, const std::string& mode,
               const std::string& algo, const History& h, int budget) {
@@ -136,15 +169,18 @@ int main() {
   const int rounds = RoundBudget(12, 40);
   const uint64_t fleet_seed = 3;
   const uint64_t run_seed = 11;
-  const std::vector<std::string> presets = {"uniform", "lognormal-speed",
-                                            "cellular",
-                                            "cross-device-churn"};
+  const std::string preset_csv = GetEnvString(
+      "FEDADMM_BENCH_PRESETS",
+      "uniform,lognormal-speed,cellular,cross-device-churn");
+  const std::vector<std::string> presets = ParseCodecList(preset_csv);
   const std::vector<std::string> policies = {"deadline-drop",
                                              "deadline-admit-partial"};
-  const std::vector<std::string> codecs = ParseCodecList(
-      GetEnvString("FEDADMM_BENCH_CODECS", "identity,q8,topk10"));
-  const std::vector<std::string> modes = ParseCodecList(
-      GetEnvString("FEDADMM_BENCH_MODES", "sync,buffered,async"));
+  const std::string codec_csv =
+      GetEnvString("FEDADMM_BENCH_CODECS", "identity,q8,topk10");
+  const std::vector<std::string> codecs = ParseCodecList(codec_csv);
+  const std::string mode_csv =
+      GetEnvString("FEDADMM_BENCH_MODES", "sync,buffered,async");
+  const std::vector<std::string> modes = ParseCodecList(mode_csv);
   const StalenessWeightFn staleness =
       MakeStalenessWeight(
           GetEnvString("FEDADMM_BENCH_STALENESS", "constant"))
@@ -159,6 +195,17 @@ int main() {
     std::fprintf(stderr, "cannot write %s\n", csv_path.c_str());
     return 1;
   }
+
+  // The perf rail: every knob that shapes the numbers goes into the
+  // context so bench_diff refuses to compare incompatible runs.
+  obs::BenchRecorder recorder("time_to_accuracy");
+  recorder.AddContext("scale", GetEnvString("FEDADMM_BENCH_SCALE", "small"));
+  recorder.AddContext("rounds", static_cast<int64_t>(rounds));
+  recorder.AddContext("presets", preset_csv);
+  recorder.AddContext("codecs", codec_csv);
+  recorder.AddContext("modes", mode_csv);
+  recorder.AddContext("staleness",
+                      GetEnvString("FEDADMM_BENCH_STALENESS", "constant"));
 
   std::printf("%-18s %-22s %-9s %-9s %-9s %7s %9s %8s %6s %6s %8s\n",
               "fleet", "policy", "codec", "mode", "algo", "rounds",
@@ -213,6 +260,8 @@ int main() {
             std::fprintf(stderr, "CSV write failed\n");
             return 1;
           }
+          RecordRun(&recorder, preset, policy_name, codec_spec, "sync",
+                    result.algorithm, h);
           PrintRow(preset.c_str(), policy_name, codec_spec, "sync",
                    result.algorithm, h, rounds);
         }
@@ -282,6 +331,8 @@ int main() {
           std::fprintf(stderr, "CSV write failed\n");
           return 1;
         }
+        RecordRun(&recorder, preset, "wait-for-all", "identity", mode_name,
+                  algo_name, h);
         PrintRow(preset, "wait-for-all", "identity", mode_name, algo_name, h,
                  mode_rounds);
       }
@@ -296,7 +347,14 @@ int main() {
     std::fprintf(stderr, "CSV close failed\n");
     return 1;
   }
-  std::printf("\nper-round CSV written to %s\n", csv_path.c_str());
+  const std::string json_path =
+      GetEnvString("FEDADMM_BENCH_JSON", "BENCH_time_to_accuracy.json");
+  if (!recorder.WriteFile(json_path).ok()) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::printf("\nper-round CSV written to %s, perf rail to %s\n",
+              csv_path.c_str(), json_path.c_str());
   PrintFootnote();
   return 0;
 }

@@ -101,6 +101,13 @@ class FederatedAlgorithm {
   /// fast with a Status instead of a CHECK mid-initialization.
   virtual std::string DefaultStateStoreSpec() const { return ""; }
 
+  /// Called by the engine when the pool lent via AlgorithmContext is about
+  /// to be destroyed. Post-run entry points (e.g. FedAdmm's
+  /// MeanAugmentedModel in tests/examples) then take the serial reduction
+  /// path, which is bitwise identical — the blocked kernels' boundaries do
+  /// not depend on the pool.
+  void DetachReducePool() { reduce_pool_ = nullptr; }
+
   /// Pre-flight check the engine runs before buffered / async execution.
   /// Methods whose aggregation semantics break under per-arrival or
   /// small-batch updates return InvalidArgument here so the run fails

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/trace.h"
 #include "util/shard.h"
 
 namespace fedadmm {
@@ -28,7 +29,13 @@ ClientExecutor::ClientExecutor(FederatedProblem* problem,
       algorithm_(algorithm),
       master_(master),
       pool_(ClampThreads(num_threads, problem->num_workers())),
-      num_shards_(std::max(1, num_shards)) {}
+      num_shards_(std::max(1, num_shards)) {
+  shard_event_hist_.reserve(static_cast<size_t>(num_shards_));
+  for (int s = 0; s < num_shards_; ++s) {
+    shard_event_hist_.push_back(obs::MetricsRegistry::Global().histogram(
+        obs::ShardLabel("client/event_seconds", s)));
+  }
+}
 
 void ClientExecutor::RunWave(int wave, const std::vector<int>& clients,
                              const std::vector<float>& theta,
@@ -53,6 +60,13 @@ void ClientExecutor::RunWave(int wave, const std::vector<int>& clients,
       static_cast<int>(clients.size()), [&](int pos, int worker) {
         const int idx = order[static_cast<size_t>(pos)];
         const int client = clients[static_cast<size_t>(idx)];
+        const int shard = ShardOfClient(client, num_shards_);
+        // Per-event wall latency, keyed by the client's aggregation shard.
+        // A no-op (never reads the clock) unless metrics or a trace
+        // capture are on — the zero-perturbation contract of src/obs.
+        obs::TraceScope scope("client_event", "client",
+                              shard_event_hist_[static_cast<size_t>(shard)]);
+        scope.set_arg("client", client);
         auto local = problem_->MakeLocalProblem(client, worker);
         // Per-(wave, client) stream: results do not depend on thread
         // scheduling.

@@ -18,6 +18,7 @@
 #include "fl/algorithm.h"
 #include "fl/problem.h"
 #include "fl/types.h"
+#include "obs/metrics.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -55,6 +56,10 @@ class ClientExecutor {
   Rng master_;
   ThreadPool pool_;
   int num_shards_;
+  /// Per-shard client-event wall-latency histograms
+  /// (`client/event_seconds{shard=s}`) — cached registry handles, one per
+  /// aggregation worker, so W-shard runs expose per-worker skew.
+  std::vector<obs::Histogram*> shard_event_hist_;
 };
 
 }  // namespace fedadmm

@@ -1,5 +1,7 @@
 #include "fl/comm_pipeline.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/status.h"
 
 namespace fedadmm {
@@ -8,6 +10,30 @@ namespace {
 // Fork tags for the codec RNG streams (see the header on tag disjointness).
 constexpr uint64_t kUplinkCodecTag = 0x7C0DEC01;
 constexpr uint64_t kDownlinkCodecTag = 0x7C0DEC02;
+
+// Wire billing + codec latency instruments (cached registry handles).
+struct CommMetrics {
+  obs::Counter* uplink_wire_bytes;
+  obs::Counter* uplink_raw_bytes;
+  obs::Counter* downlink_broadcast_bytes;
+  obs::Histogram* encode_uplink;
+  obs::Histogram* encode_downlink;
+};
+
+CommMetrics& Metrics() {
+  static CommMetrics* metrics = [] {
+    auto& registry = obs::MetricsRegistry::Global();
+    auto* m = new CommMetrics();
+    m->uplink_wire_bytes = registry.counter("comm/uplink_wire_bytes");
+    m->uplink_raw_bytes = registry.counter("comm/uplink_raw_bytes");
+    m->downlink_broadcast_bytes =
+        registry.counter("comm/downlink_broadcast_bytes");
+    m->encode_uplink = registry.histogram("comm/encode_uplink_seconds");
+    m->encode_downlink = registry.histogram("comm/encode_downlink_seconds");
+    return m;
+  }();
+  return *metrics;
+}
 
 }  // namespace
 
@@ -19,6 +45,8 @@ DownlinkPlan CommPipeline::PrepareDownlink(int wave,
   plan.per_client_bytes = download_per_client_raw;
   if (downlink_ == nullptr) return plan;
 
+  obs::TraceScope scope("encode_downlink", "comm", Metrics().encode_downlink);
+  scope.set_arg("wave", wave);
   const int64_t raw_theta_bytes =
       static_cast<int64_t>(theta.size()) * static_cast<int64_t>(sizeof(float));
   Rng down_rng = master_.Fork(kDownlinkCodecTag, static_cast<uint64_t>(wave));
@@ -27,6 +55,9 @@ DownlinkPlan CommPipeline::PrepareDownlink(int wave,
       payload.WireBytes() + (download_per_client_raw - raw_theta_bytes);
   plan.broadcast = downlink_->Decode(payload);
   plan.use_broadcast = true;
+  if (obs::MetricsEnabled()) {
+    Metrics().downlink_broadcast_bytes->Add(payload.WireBytes());
+  }
   return plan;
 }
 
@@ -47,6 +78,8 @@ void CommPipeline::PredictUplinkBytes(
 
 void CommPipeline::EncodeUplink(int wave, UpdateMessage* msg) {
   if (uplink_ == nullptr) return;
+  obs::TraceScope scope("encode_uplink", "comm", Metrics().encode_uplink);
+  scope.set_arg("client", msg->client_id);
   Rng up_rng = master_.Fork(kUplinkCodecTag, static_cast<uint64_t>(wave),
                             static_cast<uint64_t>(msg->client_id));
   const int64_t primary_stream = 2 * static_cast<int64_t>(msg->client_id);
@@ -65,6 +98,10 @@ void CommPipeline::EncodeUplink(int wave, UpdateMessage* msg) {
   }
   FEDADMM_CHECK_MSG(wire == msg->wire_bytes,
                     "uplink codec: WireBytes() disagrees with Encode()");
+  if (obs::MetricsEnabled()) {
+    Metrics().uplink_wire_bytes->Add(wire);
+    Metrics().uplink_raw_bytes->Add(msg->RawBytes());
+  }
 }
 
 void CommPipeline::EncodeUplinkAll(int wave,

@@ -5,6 +5,9 @@
 #include <limits>
 #include <utility>
 
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "state/client_state_store.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
@@ -40,6 +43,42 @@ int64_t BilledBytes(double fraction, int64_t per_client) {
       std::llround(fraction * static_cast<double>(per_client)));
 }
 
+// Cached handles into the global metrics registry (stable for the process
+// lifetime). The per-round phase histograms are the engine's time budget:
+// select → dispatch (downlink encode + client wave + size prediction) →
+// aggregate (admission + uplink encode + ServerUpdate) → finalize (eval +
+// bookkeeping).
+struct EngineMetrics {
+  obs::Counter* rounds;
+  obs::Counter* clients_selected;
+  obs::Counter* clients_dropped;
+  obs::Counter* clients_admitted_partial;
+  obs::Gauge* state_bytes_resident;
+  obs::Histogram* phase_select;
+  obs::Histogram* phase_dispatch;
+  obs::Histogram* phase_aggregate;
+  obs::Histogram* phase_finalize;
+};
+
+EngineMetrics& Metrics() {
+  static EngineMetrics* metrics = [] {
+    auto& registry = obs::MetricsRegistry::Global();
+    auto* m = new EngineMetrics();
+    m->rounds = registry.counter("server/rounds_count");
+    m->clients_selected = registry.counter("server/clients_selected_count");
+    m->clients_dropped = registry.counter("server/clients_dropped_count");
+    m->clients_admitted_partial =
+        registry.counter("server/clients_admitted_partial_count");
+    m->state_bytes_resident = registry.gauge("server/state_bytes_resident");
+    m->phase_select = registry.histogram("server/phase/select_seconds");
+    m->phase_dispatch = registry.histogram("server/phase/dispatch_seconds");
+    m->phase_aggregate = registry.histogram("server/phase/aggregate_seconds");
+    m->phase_finalize = registry.histogram("server/phase/finalize_seconds");
+    return m;
+  }();
+  return *metrics;
+}
+
 }  // namespace
 
 ServerLoop::ServerLoop(FederatedProblem* problem,
@@ -64,6 +103,8 @@ ServerLoop::ServerLoop(FederatedProblem* problem,
                 config.num_shards),
       theta_(*theta) {}
 
+ServerLoop::~ServerLoop() { algorithm_->DetachReducePool(); }
+
 void ServerLoop::InitializeModel() {
   theta_ = problem_->InitialParameters(&init_rng_);
   AlgorithmContext ctx;
@@ -80,6 +121,8 @@ void ServerLoop::InitializeModel() {
 
 bool ServerLoop::FinalizeRecord(RoundRecord record, Stopwatch* watch,
                                 History* history) {
+  obs::TraceScope scope("finalize", "engine", Metrics().phase_finalize);
+  scope.set_arg("round", record.round);
   const int round = record.round;
   const bool last_round = (round == config_.max_rounds - 1);
   const bool evaluate = last_round || (round % config_.eval_every == 0);
@@ -97,6 +140,15 @@ bool ServerLoop::FinalizeRecord(RoundRecord record, Stopwatch* watch,
   record.state_bytes_resident = algorithm_->StateBytesResident();
   watch->Reset();
   history->Add(record);
+  if (obs::MetricsEnabled()) {
+    EngineMetrics& m = Metrics();
+    m.rounds->Add(1);
+    m.clients_selected->Add(record.num_selected);
+    m.clients_dropped->Add(record.num_dropped);
+    m.clients_admitted_partial->Add(record.num_admitted_partial);
+    m.state_bytes_resident->Set(record.state_bytes_resident);
+  }
+  if (round_trace_.is_open()) WriteRoundTrace(record);
   if (observer_ && *observer_) (*observer_)(record);
   if (config_.log_rounds && evaluate) {
     if (config_.mode == ExecutionMode::kSync) {
@@ -113,6 +165,38 @@ bool ServerLoop::FinalizeRecord(RoundRecord record, Stopwatch* watch,
   }
   return evaluate && config_.target_accuracy > 0.0 &&
          record.test_accuracy >= config_.target_accuracy;
+}
+
+void ServerLoop::WriteRoundTrace(const RoundRecord& record) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("round").Int(record.round);
+  w.Key("num_selected").Int(record.num_selected);
+  w.Key("num_dropped").Int(record.num_dropped);
+  w.Key("num_admitted_partial").Int(record.num_admitted_partial);
+  w.Key("train_loss").Double(record.train_loss);
+  w.Key("test_accuracy").Double(record.test_accuracy);
+  w.Key("test_loss").Double(record.test_loss);
+  w.Key("sim_seconds").Double(record.sim_seconds);
+  w.Key("upload_bytes").Int(record.upload_bytes);
+  w.Key("download_bytes").Int(record.download_bytes);
+  w.Key("upload_bytes_raw").Int(record.upload_bytes_raw);
+  w.Key("download_bytes_raw").Int(record.download_bytes_raw);
+  w.Key("staleness_mean").Double(record.staleness_mean);
+  w.Key("staleness_max").Int(record.staleness_max);
+  w.Key("state_bytes_resident").Int(record.state_bytes_resident);
+  // The only host-dependent field; zeroed in deterministic-only mode so
+  // same-seed traces diff byte-identical (mirrors the history CSV).
+  w.Key("wall_seconds")
+      .Double(round_trace_.deterministic_only() ? 0.0 : record.wall_seconds);
+  w.EndObject();
+  const Status status = round_trace_.Append(w.str());
+  if (!status.ok()) {
+    // A broken trace sink must not abort training; warn once and stop
+    // writing.
+    FEDADMM_LOG(Warning) << "round trace disabled: " << status.message();
+    (void)round_trace_.Close();
+  }
 }
 
 Result<History> ServerLoop::Run() {
@@ -139,7 +223,15 @@ Result<History> ServerLoop::Run() {
     auto probe = MakeClientStateStore(effective_store);
     if (!probe.ok()) return probe.status();
   }
-  if (config_.mode == ExecutionMode::kSync) return RunSync();
+  if (!config_.round_trace_path.empty()) {
+    FEDADMM_RETURN_IF_ERROR(round_trace_.Open(
+        config_.round_trace_path, config_.round_trace_deterministic_only));
+  }
+  if (config_.mode == ExecutionMode::kSync) {
+    Result<History> history = RunSync();
+    FEDADMM_RETURN_IF_ERROR(round_trace_.Close());
+    return history;
+  }
   if (system_model_ == nullptr) {
     return Status::InvalidArgument(
         "Simulation: mode '" + ExecutionModeName(config_.mode) +
@@ -150,7 +242,9 @@ Result<History> ServerLoop::Run() {
   // silently overshoots m-fold; FedPD cannot form its full-population
   // mean).
   FEDADMM_RETURN_IF_ERROR(algorithm_->ValidateForEventMode());
-  return RunEventDriven();
+  Result<History> history = RunEventDriven();
+  FEDADMM_RETURN_IF_ERROR(round_trace_.Close());
+  return history;
 }
 
 Result<History> ServerLoop::RunSync() {
@@ -163,9 +257,16 @@ Result<History> ServerLoop::RunSync() {
     RoundContext ctx;
     ctx.round = round;
     ctx.num_shards = config_.num_shards;
-    ctx.selected = selector_->Select(round, &selection_rng_);
+    {
+      obs::TraceScope scope("select", "engine", Metrics().phase_select);
+      scope.set_arg("round", round);
+      ctx.selected = selector_->Select(round, &selection_rng_);
+    }
     FEDADMM_CHECK_MSG(!ctx.selected.empty(), "selector returned empty set");
 
+    obs::TraceScope dispatch_scope("dispatch", "engine",
+                                   Metrics().phase_dispatch);
+    dispatch_scope.set_arg("round", round);
     // Downlink: the server encodes θ once per round; every selected client
     // trains on the decoded broadcast (what it actually received) and is
     // billed the compressed size. Algorithm extras beyond θ (e.g.
@@ -181,6 +282,11 @@ Result<History> ServerLoop::RunSync() {
     // without materializing payloads. Actual encoding happens after the
     // judgment so stateful codecs only see admitted uploads.
     pipeline_.PredictUplinkBytes(&ctx.updates);
+    dispatch_scope.Stop();
+
+    obs::TraceScope aggregate_scope("aggregate", "engine",
+                                    Metrics().phase_aggregate);
+    aggregate_scope.set_arg("round", round);
 
     RoundRecord record;
     record.round = round;
@@ -235,6 +341,7 @@ Result<History> ServerLoop::RunSync() {
     if (!ctx.updates.empty()) {
       algorithm_->ServerUpdate(ctx.updates, round, &theta_);
     }
+    aggregate_scope.Stop();
 
     double loss_sum = 0.0;
     int64_t upload = 0;
@@ -263,6 +370,8 @@ Result<History> ServerLoop::RunSync() {
 void ServerLoop::DispatchWave(const std::vector<int>& clients, int wave,
                               double now, int theta_version,
                               ShardedEventQueue* queue) {
+  obs::TraceScope scope("dispatch", "engine", Metrics().phase_dispatch);
+  scope.set_arg("wave", wave);
   RoundContext ctx;
   ctx.round = wave;
   ctx.num_shards = config_.num_shards;
@@ -290,6 +399,8 @@ void ServerLoop::DispatchWave(const std::vector<int>& clients, int wave,
 }
 
 int ServerLoop::PickReplacement(int wave) {
+  obs::TraceScope scope("select", "engine", Metrics().phase_select);
+  scope.set_arg("wave", wave);
   const std::vector<int> candidates = selector_->Select(wave, &selection_rng_);
   for (const int client : candidates) {
     if (!in_flight_[static_cast<size_t>(client)]) return client;
@@ -373,7 +484,10 @@ Result<History> ServerLoop::RunEventDriven() {
         !aggregated && drops_since_aggregate >= concurrency;
 
     if (aggregated || force_flush) {
+      obs::TraceScope aggregate_scope("aggregate", "engine",
+                                      Metrics().phase_aggregate);
       const int round = history.size();
+      aggregate_scope.set_arg("round", round);
       RoundRecord record;
       record.round = round;
       record.num_selected = static_cast<int>(buffer.size());
@@ -430,6 +544,7 @@ Result<History> ServerLoop::RunEventDriven() {
         ++server_version;
       }
       buffer.clear();
+      aggregate_scope.Stop();
 
       // Both stop paths break before the replacement dispatch below, so
       // every billed download has been flushed into a record by the time

@@ -47,6 +47,7 @@
 #include "fl/comm_pipeline.h"
 #include "fl/round_context.h"
 #include "fl/simulation.h"
+#include "obs/trace.h"
 #include "sys/event_queue.h"
 #include "util/stopwatch.h"
 
@@ -64,6 +65,11 @@ class ServerLoop {
              const SystemModel* system_model, UpdateCodec* uplink_codec,
              UpdateCodec* downlink_codec, const RoundObserver* observer,
              std::vector<float>* theta);
+
+  /// Detaches the reduction pool lent to the algorithm: the pool dies with
+  /// this loop, but the algorithm object outlives it and may serve direct
+  /// calls (diagnostics, invariant probes) afterwards.
+  ~ServerLoop();
 
   /// Runs the configured execution mode to completion.
   Result<History> Run();
@@ -84,6 +90,11 @@ class ServerLoop {
   /// stops). `record.round` must be set; `watch` is restarted.
   bool FinalizeRecord(RoundRecord record, Stopwatch* watch,
                       History* history);
+
+  /// Appends one JSONL object for `record` to the opt-in round trace
+  /// (no-op when `SimulationConfig::round_trace_path` is empty). Wall
+  /// fields are zeroed in deterministic-only mode.
+  void WriteRoundTrace(const RoundRecord& record);
 
   /// Dispatches `clients` at simulated time `now` against the current θ:
   /// downlink encode + billing, parallel client execution, uplink size
@@ -112,6 +123,9 @@ class ServerLoop {
 
   /// Borrowed live model buffer (owned by Simulation).
   std::vector<float>& theta_;
+
+  /// Opt-in per-round JSONL trace (closed/no-op unless configured).
+  obs::RoundTraceWriter round_trace_;
 
   // Event-mode state (unused by sync).
   std::vector<char> in_flight_;

@@ -99,6 +99,15 @@ struct SimulationConfig {
   /// to float-summation regrouping (see bench_shard_scale). An explicit
   /// `sharded:` state_store spec overrides this knob's store partition.
   int num_shards = 1;
+  /// When non-empty, append one JSON object per RoundRecord to this file
+  /// (JSONL): the obs round trace. Purely additive — the training
+  /// trajectory is bitwise identical with or without it.
+  std::string round_trace_path;
+  /// Zero the wall-clock fields in the round trace so two runs of the same
+  /// seed produce byte-identical trace files (mirrors the history CSV's
+  /// deterministic mode). Simulated-time fields are kept: they ARE
+  /// deterministic.
+  bool round_trace_deterministic_only = false;
 };
 
 /// \brief Optional per-round observer (round index, record) — benches use it

@@ -1,0 +1,222 @@
+#include "obs/bench_compare.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "obs/json.h"
+
+namespace fedadmm::obs {
+namespace {
+
+bool EndsWith(std::string_view name, std::string_view suffix) {
+  return name.size() >= suffix.size() &&
+         name.substr(name.size() - suffix.size()) == suffix;
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::IoError("bench_compare: cannot open " + path);
+  }
+  std::string content;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), file)) > 0) {
+    content.append(buf, n);
+  }
+  const bool read_error = std::ferror(file) != 0;
+  std::fclose(file);
+  if (read_error) return Status::IoError("bench_compare: read error " + path);
+  return content;
+}
+
+/// Validates the recorder schema and returns the document.
+Result<JsonValue> ParseBenchDoc(const std::string& json, const char* which) {
+  auto parsed = ParseJson(json);
+  if (!parsed.ok()) {
+    return Status::InvalidArgument(std::string("bench_compare: ") + which +
+                                   " document: " +
+                                   parsed.status().message());
+  }
+  JsonValue doc = std::move(parsed).ValueOrDie();
+  if (!doc.is_object() || doc.Find("results") == nullptr ||
+      !doc.Find("results")->is_array()) {
+    return Status::InvalidArgument(std::string("bench_compare: ") + which +
+                                   " is not a BENCH_*.json document");
+  }
+  return doc;
+}
+
+std::string MetricString(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+const JsonValue* FindResult(const JsonValue& doc, const std::string& name) {
+  for (const JsonValue& result : doc.Find("results")->elements) {
+    const JsonValue* n = result.Find("name");
+    if (n != nullptr && n->is_string() && n->string == name) return &result;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+MetricClass ClassifyMetric(std::string_view name) {
+  // Wall-clock suffixes first: "*_wall_seconds" must not fall through to
+  // the deterministic "*_seconds" family.
+  if (EndsWith(name, "_wall_seconds") || EndsWith(name, "_us")) {
+    return MetricClass::kWallClock;
+  }
+  if (EndsWith(name, "_bytes") || EndsWith(name, "_count") ||
+      EndsWith(name, "_rounds") || EndsWith(name, "_sim_seconds")) {
+    return MetricClass::kDeterministic;
+  }
+  return MetricClass::kInformational;
+}
+
+Result<BenchCompareReport> CompareBenchJson(
+    const std::string& baseline_json, const std::string& fresh_json,
+    const BenchCompareOptions& options) {
+  auto baseline_doc = ParseBenchDoc(baseline_json, "baseline");
+  if (!baseline_doc.ok()) return baseline_doc.status();
+  auto fresh_doc = ParseBenchDoc(fresh_json, "fresh");
+  if (!fresh_doc.ok()) return fresh_doc.status();
+  const JsonValue& baseline = baseline_doc.ValueOrDie();
+  const JsonValue& fresh = fresh_doc.ValueOrDie();
+
+  BenchCompareReport report;
+
+  // Config context must match, or the trajectories are not comparable.
+  if (options.require_context_match) {
+    const JsonValue* base_ctx = baseline.Find("context");
+    const JsonValue* fresh_ctx = fresh.Find("context");
+    std::map<std::string, std::string> a, b;
+    if (base_ctx != nullptr && base_ctx->is_object()) {
+      for (const auto& [key, value] : base_ctx->members) {
+        a[key] = value.is_string() ? value.string : MetricString(value.number);
+      }
+    }
+    if (fresh_ctx != nullptr && fresh_ctx->is_object()) {
+      for (const auto& [key, value] : fresh_ctx->members) {
+        b[key] = value.is_string() ? value.string : MetricString(value.number);
+      }
+    }
+    if (a != b) {
+      report.failures.push_back(
+          "config context differs between baseline and fresh run — "
+          "trajectories are not comparable (rerun with the baseline's "
+          "pinned knobs, or pass --allow-context-drift)");
+    }
+  }
+
+  for (const JsonValue& base_result : baseline.Find("results")->elements) {
+    const JsonValue* name_value = base_result.Find("name");
+    if (name_value == nullptr || !name_value->is_string()) continue;
+    const std::string& name = name_value->string;
+    const JsonValue* fresh_result = FindResult(fresh, name);
+    if (fresh_result == nullptr) {
+      report.failures.push_back("result '" + name +
+                                "' missing from fresh run (coverage loss)");
+      continue;
+    }
+    const JsonValue* base_metrics = base_result.Find("metrics");
+    const JsonValue* fresh_metrics = fresh_result->Find("metrics");
+    if (base_metrics == nullptr || !base_metrics->is_object()) continue;
+
+    for (const auto& [metric, base_value] : base_metrics->members) {
+      const JsonValue* fresh_value =
+          fresh_metrics ? fresh_metrics->Find(metric) : nullptr;
+      const std::string where = name + "." + metric;
+      const MetricClass cls = ClassifyMetric(metric);
+      ++report.metrics_compared;
+
+      // null = NaN at record time ("target never reached", empty
+      // histogram). Gate only transitions into null.
+      if (base_value.is_null()) {
+        if (fresh_value != nullptr && !fresh_value->is_null()) {
+          report.notes.push_back(where + ": newly measurable (was null)");
+        }
+        continue;
+      }
+      if (fresh_value == nullptr || fresh_value->is_null()) {
+        if (cls == MetricClass::kInformational) {
+          report.notes.push_back(where + ": no longer measured");
+        } else {
+          report.failures.push_back(where +
+                                    ": gated metric missing from fresh run");
+        }
+        continue;
+      }
+      if (!base_value.is_number() || !fresh_value->is_number()) continue;
+
+      const double base = base_value.number;
+      const double now = fresh_value->number;
+      switch (cls) {
+        case MetricClass::kDeterministic: {
+          ++report.metrics_gated;
+          const double denom = std::max(std::fabs(base), 1e-12);
+          const double drift_pct = std::fabs(now - base) / denom * 100.0;
+          if (drift_pct > options.deterministic_tolerance_pct) {
+            report.failures.push_back(
+                where + ": deterministic metric drifted " +
+                MetricString(drift_pct) + "% (" + MetricString(base) +
+                " -> " + MetricString(now) + ")");
+          }
+          break;
+        }
+        case MetricClass::kWallClock: {
+          if (base <= 0.0) {
+            report.notes.push_back(where + ": wall baseline is 0, not gated");
+            break;
+          }
+          ++report.metrics_gated;
+          const double regression_pct = (now - base) / base * 100.0;
+          if (regression_pct > options.tolerance_pct) {
+            report.failures.push_back(
+                where + ": wall-clock regression " +
+                MetricString(regression_pct) + "% > " +
+                MetricString(options.tolerance_pct) + "% (" +
+                MetricString(base) + "s -> " + MetricString(now) + "s)");
+          }
+          break;
+        }
+        case MetricClass::kInformational: {
+          if (base != now) {
+            report.notes.push_back(where + ": " + MetricString(base) +
+                                   " -> " + MetricString(now));
+          }
+          break;
+        }
+      }
+    }
+  }
+
+  // New results are progress, not regressions — but say so.
+  for (const JsonValue& fresh_result : fresh.Find("results")->elements) {
+    const JsonValue* name_value = fresh_result.Find("name");
+    if (name_value == nullptr || !name_value->is_string()) continue;
+    if (FindResult(baseline, name_value->string) == nullptr) {
+      report.notes.push_back("result '" + name_value->string +
+                             "' is new (absent from baseline)");
+    }
+  }
+
+  report.ok = report.failures.empty();
+  return report;
+}
+
+Result<BenchCompareReport> CompareBenchFiles(
+    const std::string& baseline_path, const std::string& fresh_path,
+    const BenchCompareOptions& options) {
+  auto baseline = ReadFileToString(baseline_path);
+  if (!baseline.ok()) return baseline.status();
+  auto fresh = ReadFileToString(fresh_path);
+  if (!fresh.ok()) return fresh.status();
+  return CompareBenchJson(baseline.ValueOrDie(), fresh.ValueOrDie(), options);
+}
+
+}  // namespace fedadmm::obs

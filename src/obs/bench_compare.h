@@ -1,0 +1,83 @@
+/// \file bench_compare.h
+/// \brief The regression-gate logic behind `tools/bench_diff`.
+///
+/// Compares a freshly produced BENCH_*.json (obs/bench_recorder.h schema)
+/// against the committed baseline and decides pass/fail. Library, not
+/// binary, so the gate's semantics are unit-tested; the tool is a thin CLI
+/// over `CompareBenchJson`.
+///
+/// Gating classes, chosen by metric-name suffix (the recorder's contract):
+///
+///   * **deterministic** (`*_bytes`, `*_count`, `*_rounds`,
+///     `*_sim_seconds` — simulated time, byte ledgers, round counts):
+///     identical binaries must reproduce these exactly, so they gate at
+///     `deterministic_tolerance_pct` (default 0). Any drift is a real
+///     behavior change, not noise.
+///   * **wall clock** (`*_wall_seconds`, `*_us` — host-dependent
+///     latencies): gate at `tolerance_pct` (default 25), failing only on
+///     *regressions* (fresh > baseline); improvements always pass.
+///   * everything else (accuracies, speedups) is informational — reported
+///     as notes, never failed.
+///
+/// A result present in the baseline but missing from the fresh run fails
+/// (silent coverage loss is itself a regression); new results are noted.
+/// Context mismatches fail unless `require_context_match` is off — numbers
+/// from different fleet presets / W / stores are not comparable.
+
+#ifndef FEDADMM_OBS_BENCH_COMPARE_H_
+#define FEDADMM_OBS_BENCH_COMPARE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace fedadmm::obs {
+
+/// \brief Knobs of one comparison.
+struct BenchCompareOptions {
+  /// Allowed upward drift of wall-clock metrics, in percent.
+  double tolerance_pct = 25.0;
+  /// Allowed drift (both directions) of deterministic metrics, in percent.
+  double deterministic_tolerance_pct = 0.0;
+  /// Fail when the `context` objects differ.
+  bool require_context_match = true;
+};
+
+/// \brief Gating class of one metric.
+enum class MetricClass {
+  kDeterministic,
+  kWallClock,
+  kInformational,
+};
+
+/// Classifies a metric name by its suffix (see file comment).
+MetricClass ClassifyMetric(std::string_view name);
+
+/// \brief Outcome of one comparison.
+struct BenchCompareReport {
+  bool ok = false;
+  /// Human-readable gate failures (empty when ok).
+  std::vector<std::string> failures;
+  /// Non-fatal observations (new results, informational drift).
+  std::vector<std::string> notes;
+  int metrics_compared = 0;
+  int metrics_gated = 0;
+};
+
+/// \brief Compares two serialized BENCH_*.json documents.
+/// Returns InvalidArgument when either document fails to parse or is not
+/// the recorder schema.
+Result<BenchCompareReport> CompareBenchJson(const std::string& baseline_json,
+                                            const std::string& fresh_json,
+                                            const BenchCompareOptions& options);
+
+/// \brief File-path convenience wrapper over `CompareBenchJson`.
+Result<BenchCompareReport> CompareBenchFiles(const std::string& baseline_path,
+                                             const std::string& fresh_path,
+                                             const BenchCompareOptions& options);
+
+}  // namespace fedadmm::obs
+
+#endif  // FEDADMM_OBS_BENCH_COMPARE_H_

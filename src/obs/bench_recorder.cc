@@ -1,0 +1,87 @@
+#include "obs/bench_recorder.h"
+
+#include <cstdio>
+
+#include "obs/json.h"
+
+namespace fedadmm::obs {
+
+BenchResult& BenchResult::AddMetric(const std::string& key, double value) {
+  metrics_[key] = value;
+  return *this;
+}
+
+BenchResult& BenchResult::AddMetric(const std::string& key, int64_t value) {
+  metrics_[key] = static_cast<double>(value);
+  return *this;
+}
+
+BenchResult& BenchResult::AddLatencyMetrics(const std::string& prefix,
+                                            const std::string& unit_suffix,
+                                            const HistogramStats& stats) {
+  AddMetric(prefix + "_count", stats.count);
+  AddMetric(prefix + "_p50" + unit_suffix, stats.Percentile(50));
+  AddMetric(prefix + "_p90" + unit_suffix, stats.Percentile(90));
+  AddMetric(prefix + "_p99" + unit_suffix, stats.Percentile(99));
+  AddMetric(prefix + "_max" + unit_suffix,
+            stats.count ? stats.max : stats.Mean());
+  AddMetric(prefix + "_mean" + unit_suffix, stats.Mean());
+  return *this;
+}
+
+void BenchRecorder::AddContext(const std::string& key,
+                               const std::string& value) {
+  context_[key] = value;
+}
+
+void BenchRecorder::AddContext(const std::string& key, int64_t value) {
+  context_[key] = std::to_string(value);
+}
+
+BenchResult* BenchRecorder::AddResult(const std::string& name) {
+  results_.push_back(std::make_unique<BenchResult>(name));
+  return results_.back().get();
+}
+
+std::string BenchRecorder::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("bench").String(bench_name_);
+  w.Key("schema_version").Int(1);
+  w.Key("context").BeginObject();
+  for (const auto& [key, value] : context_) {
+    w.Key(key).String(value);
+  }
+  w.EndObject();
+  w.Key("results").BeginArray();
+  for (const auto& result : results_) {
+    w.BeginObject();
+    w.Key("name").String(result->name());
+    w.Key("metrics").BeginObject();
+    for (const auto& [key, value] : result->metrics()) {
+      w.Key(key).Double(value);
+    }
+    w.EndObject();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+Status BenchRecorder::WriteFile(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::IoError("BenchRecorder: cannot open " + path);
+  }
+  const std::string doc = ToJson();
+  const size_t written = std::fwrite(doc.data(), 1, doc.size(), file);
+  const bool newline_ok = std::fputc('\n', file) != EOF;
+  const int close_err = std::fclose(file);
+  if (written != doc.size() || !newline_ok || close_err != 0) {
+    return Status::IoError("BenchRecorder: short write to " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace fedadmm::obs

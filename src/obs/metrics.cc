@@ -1,0 +1,223 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "obs/json.h"
+
+namespace fedadmm::obs {
+namespace {
+
+/// Bucket bounds are computed once: pow in a hot Record would be wasteful
+/// and, worse, a per-call rounding hazard. Each decade is anchored at its
+/// exact literal (1e-6 * pow(10, i/8) drifts a few ULPs below 1e-5, which
+/// would push a sample sitting exactly on a decade edge one bucket high
+/// and cost the edge-exactness the percentile tests pin down).
+const std::array<double, HistogramStats::kNumBuckets>& BucketBounds() {
+  static const auto bounds = [] {
+    constexpr std::array<double, HistogramStats::kDecades> anchors = {
+        1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1e0, 1e1};
+    std::array<double, HistogramStats::kNumBuckets> b{};
+    for (int i = 0; i + 1 < HistogramStats::kNumBuckets; ++i) {
+      const int decade = i / HistogramStats::kBucketsPerDecade;
+      const int step = i % HistogramStats::kBucketsPerDecade;
+      b[static_cast<size_t>(i)] =
+          anchors[static_cast<size_t>(decade)] *
+          std::pow(10.0, static_cast<double>(step) /
+                             HistogramStats::kBucketsPerDecade);
+    }
+    b[HistogramStats::kNumBuckets - 1] =
+        std::numeric_limits<double>::infinity();
+    return b;
+  }();
+  return bounds;
+}
+
+}  // namespace
+
+double HistogramStats::UpperBound(int i) {
+  return BucketBounds()[static_cast<size_t>(i)];
+}
+
+int HistogramStats::BucketIndex(double seconds) {
+  const auto& bounds = BucketBounds();
+  const auto it =
+      std::lower_bound(bounds.begin(), bounds.end() - 1, seconds);
+  return static_cast<int>(it - bounds.begin());
+}
+
+double HistogramStats::Percentile(double q) const {
+  if (count == 0) return std::numeric_limits<double>::quiet_NaN();
+  const double fraction = std::clamp(q, 0.0, 100.0) / 100.0;
+  // 1-based rank of the order statistic the percentile asks for; q = 0
+  // still inspects the first sample.
+  const int64_t rank = std::max<int64_t>(
+      1, static_cast<int64_t>(std::ceil(fraction * count)));
+  int64_t cumulative = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    cumulative += buckets[static_cast<size_t>(i)];
+    if (cumulative >= rank) {
+      // Bucket resolution, but never outside the exact extrema: the
+      // overflow bucket reports max, a first-bucket rank cannot undercut
+      // min, and a single-sample histogram collapses to that sample.
+      return std::clamp(UpperBound(i), min, max);
+    }
+  }
+  return max;
+}
+
+double HistogramStats::Mean() const {
+  if (count == 0) return std::numeric_limits<double>::quiet_NaN();
+  return sum / static_cast<double>(count);
+}
+
+void HistogramStats::MergeFrom(const HistogramStats& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    *this = other;
+    return;
+  }
+  count += other.count;
+  sum += other.sum;
+  min = std::min(min, other.min);
+  max = std::max(max, other.max);
+  for (int i = 0; i < kNumBuckets; ++i) {
+    buckets[static_cast<size_t>(i)] += other.buckets[static_cast<size_t>(i)];
+  }
+}
+
+void Histogram::Record(double seconds) {
+  const double sample = std::max(seconds, 0.0);
+  const int bucket = HistogramStats::BucketIndex(sample);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stats_.count == 0) {
+    stats_.min = sample;
+    stats_.max = sample;
+  } else {
+    stats_.min = std::min(stats_.min, sample);
+    stats_.max = std::max(stats_.max, sample);
+  }
+  ++stats_.count;
+  stats_.sum += sample;
+  ++stats_.buckets[static_cast<size_t>(bucket)];
+}
+
+HistogramStats Histogram::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void Histogram::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = HistogramStats();
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.emplace_back(name, counter->value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.emplace_back(name, gauge->value());
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snapshot.histograms.emplace_back(name, histogram->Stats());
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::ResetValues() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) counter->Reset();
+  for (const auto& [name, gauge] : gauges_) gauge->Reset();
+  for (const auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+HistogramStats MetricsSnapshot::AggregateHistograms(
+    std::string_view prefix) const {
+  HistogramStats merged;
+  for (const auto& [name, stats] : histograms) {
+    if (name.size() >= prefix.size() &&
+        std::string_view(name).substr(0, prefix.size()) == prefix) {
+      merged.MergeFrom(stats);
+    }
+  }
+  return merged;
+}
+
+std::string ShardLabel(std::string_view base, int shard) {
+  std::string name(base);
+  name += "{shard=";
+  name += std::to_string(shard);
+  name += '}';
+  return name;
+}
+
+std::string SnapshotToJson(const MetricsSnapshot& snapshot) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("counters").BeginObject();
+  for (const auto& [name, value] : snapshot.counters) {
+    w.Key(name).Int(value);
+  }
+  w.EndObject();
+  w.Key("gauges").BeginObject();
+  for (const auto& [name, value] : snapshot.gauges) {
+    w.Key(name).Int(value);
+  }
+  w.EndObject();
+  w.Key("histograms").BeginObject();
+  for (const auto& [name, stats] : snapshot.histograms) {
+    w.Key(name).BeginObject();
+    w.Key("count").Int(stats.count);
+    w.Key("sum_seconds").Double(stats.sum);
+    w.Key("min_seconds").Double(stats.count ? stats.min : 0.0);
+    w.Key("max_seconds").Double(stats.count ? stats.max : 0.0);
+    w.Key("mean_seconds").Double(stats.Mean());
+    w.Key("p50_seconds").Double(stats.Percentile(50));
+    w.Key("p90_seconds").Double(stats.Percentile(90));
+    w.Key("p99_seconds").Double(stats.Percentile(99));
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+  return w.str();
+}
+
+}  // namespace fedadmm::obs

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "state/store_metrics.h"
+
 namespace fedadmm {
 
 void DenseStateStore::Configure(int num_clients,
@@ -38,13 +40,17 @@ std::span<const float> DenseStateStore::View(int client_id, int slot) const {
 }
 
 std::span<float> DenseStateStore::MutableView(int client_id, int slot) {
+  state_internal::NoteMutableTouch();
   Slot& s = slots_[static_cast<size_t>(slot)];
   return {s.arena.data() +
               static_cast<size_t>(client_id) * static_cast<size_t>(s.dim),
           static_cast<size_t>(s.dim)};
 }
 
-void DenseStateStore::Release(int client_id) const { (void)client_id; }
+void DenseStateStore::Release(int client_id) const {
+  (void)client_id;
+  state_internal::NoteRelease();
+}
 
 void DenseStateStore::ForEachTouched(
     const TouchedStateVisitor& visitor) const {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "state/store_metrics.h"
+
 namespace fedadmm {
 
 void LazyStateStore::Configure(int num_clients,
@@ -64,6 +66,7 @@ std::span<const float> LazyStateStore::View(int client_id, int slot) const {
 }
 
 std::span<float> LazyStateStore::MutableView(int client_id, int slot) {
+  state_internal::NoteMutableTouch();
   Slot& s = slots_[static_cast<size_t>(slot)];
   float*& entry = s.blocks[static_cast<size_t>(client_id)];
   if (entry == nullptr) {
@@ -75,7 +78,10 @@ std::span<float> LazyStateStore::MutableView(int client_id, int slot) {
   return {entry, static_cast<size_t>(s.dim)};
 }
 
-void LazyStateStore::Release(int client_id) const { (void)client_id; }
+void LazyStateStore::Release(int client_id) const {
+  (void)client_id;
+  state_internal::NoteRelease();
+}
 
 void LazyStateStore::ForEachTouched(const TouchedStateVisitor& visitor) const {
   for (int c = 0; c < num_clients_; ++c) {

@@ -5,6 +5,7 @@
 
 #include "comm/identity.h"
 #include "comm/quantize.h"
+#include "state/store_metrics.h"
 
 namespace fedadmm {
 
@@ -83,6 +84,7 @@ std::span<const float> QuantizedStateStore::View(int client_id,
 }
 
 std::span<float> QuantizedStateStore::MutableView(int client_id, int slot) {
+  state_internal::NoteMutableTouch();
   std::lock_guard<std::mutex> lock(StripeFor(client_id));
   Hot* hot = EnsureHot(client_id, slot);
   hot->dirty = true;
@@ -94,6 +96,7 @@ std::span<float> QuantizedStateStore::MutableView(int client_id, int slot) {
 }
 
 void QuantizedStateStore::Release(int client_id) const {
+  state_internal::NoteRelease();
   std::lock_guard<std::mutex> lock(StripeFor(client_id));
   for (Slot& s : slots_) {
     std::unique_ptr<Hot>& hot = s.hot[static_cast<size_t>(client_id)];

@@ -1,14 +1,29 @@
 #include "tensor/vec.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstring>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
 namespace fedadmm::vec {
 namespace {
+
+obs::Histogram* AxpyManyHist() {
+  static obs::Histogram* hist =
+      obs::MetricsRegistry::Global().histogram("vec/axpy_many_seconds");
+  return hist;
+}
+
+obs::Histogram* AxpyManyShardedHist() {
+  static obs::Histogram* hist = obs::MetricsRegistry::Global().histogram(
+      "vec/axpy_many_sharded_seconds");
+  return hist;
+}
 
 /// Runs `body(begin, end)` over [0, n) in kReduceBlock-sized blocks,
 /// serially or across `pool`. Boundaries depend only on n.
@@ -109,6 +124,8 @@ void AxpyMany(float alpha, const std::vector<std::span<const float>>& xs,
               std::span<float> y, ThreadPool* pool) {
   for (const auto& x : xs) FEDADMM_CHECK(x.size() == y.size());
   if (xs.empty()) return;
+  obs::TraceScope scope("axpy_many", "vec", AxpyManyHist());
+  scope.set_arg("vectors", static_cast<int64_t>(xs.size()));
   ForEachBlock(y.size(), pool, [&](size_t begin, size_t end) {
     for (const auto& x : xs) {
       for (size_t i = begin; i < end; ++i) y[i] += alpha * x[i];
@@ -131,6 +148,22 @@ void AxpyManySharded(float alpha,
   }
   for (const auto& x : xs) FEDADMM_CHECK(x.size() == y.size());
   if (xs.empty()) return;
+  obs::TraceScope scope("axpy_many_sharded", "vec", AxpyManyShardedHist());
+  scope.set_arg("vectors", static_cast<int64_t>(xs.size()));
+
+  // Per-shard partial timings expose worker skew (`vec/axpy_shard_seconds
+  // {shard=s}`). Purely additive wall measurement — the float math and
+  // task boundaries are untouched, so enabling metrics cannot perturb the
+  // reduce.
+  const bool timed = obs::MetricsEnabled();
+  std::vector<obs::Histogram*> shard_hist;
+  if (timed) {
+    shard_hist.reserve(static_cast<size_t>(num_shards));
+    for (int s = 0; s < num_shards; ++s) {
+      shard_hist.push_back(obs::MetricsRegistry::Global().histogram(
+          obs::ShardLabel("vec/axpy_shard_seconds", s)));
+    }
+  }
 
   // Group vector indices by shard, preserving list order within a shard.
   std::vector<std::vector<int>> members(static_cast<size_t>(num_shards));
@@ -154,10 +187,18 @@ void AxpyManySharded(float alpha,
         static_cast<size_t>(task % static_cast<int>(num_blocks)) *
         kReduceBlock;
     const size_t end = std::min(begin + kReduceBlock, n);
+    const auto task_start = timed ? std::chrono::steady_clock::now()
+                                  : std::chrono::steady_clock::time_point{};
     float* partial = partials.data() + static_cast<size_t>(s) * n;
     for (const int xi : members[static_cast<size_t>(s)]) {
       const std::span<const float>& x = xs[static_cast<size_t>(xi)];
       for (size_t i = begin; i < end; ++i) partial[i] += alpha * x[i];
+    }
+    if (timed) {
+      shard_hist[static_cast<size_t>(s)]->Record(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        task_start)
+              .count());
     }
   };
   const int num_tasks = num_shards * static_cast<int>(num_blocks);

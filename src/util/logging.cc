@@ -4,13 +4,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
 
 namespace fedadmm {
 namespace {
 
 std::atomic<int> g_level{-1};  // -1: uninitialized (read env on first use)
-std::mutex g_emit_mutex;
 
 int ResolveLevel() {
   int level = g_level.load(std::memory_order_relaxed);
@@ -62,8 +60,13 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   if (!enabled_) return;
-  std::lock_guard<std::mutex> lock(g_emit_mutex);
-  std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  // Emit the full line (newline included) in ONE fwrite so concurrent
+  // loggers never interleave mid-line. stdio streams are internally
+  // locked per call (POSIX flockfile semantics), which makes the single
+  // write atomic with respect to other threads — no extra mutex needed.
+  std::string line = stream_.str();
+  line.push_back('\n');
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 }  // namespace internal

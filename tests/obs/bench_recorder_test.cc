@@ -1,0 +1,250 @@
+// The perf rail end to end in memory: recorder schema, context embedding,
+// histogram unpacking, and the bench_diff gate semantics
+// (deterministic / wall-clock / informational metric classes).
+
+#include "obs/bench_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "obs/bench_compare.h"
+#include "obs/json.h"
+
+namespace fedadmm::obs {
+namespace {
+
+TEST(BenchRecorderTest, SchemaShape) {
+  BenchRecorder recorder("kernels");
+  recorder.AddContext("preset", "mid");
+  recorder.AddContext("num_shards", int64_t{4});
+  BenchResult* row = recorder.AddResult("axpy/d=1024");
+  row->AddMetric("total_bytes", int64_t{4096});
+  row->AddMetric("speedup", 1.8);
+
+  auto doc = ParseJson(recorder.ToJson());
+  ASSERT_TRUE(doc.ok()) << doc.status().message();
+  const JsonValue& value = doc.ValueOrDie();
+  EXPECT_EQ(value.Find("bench")->string, "kernels");
+  EXPECT_EQ(value.Find("schema_version")->number, 1.0);
+  EXPECT_EQ(value.Find("context")->Find("preset")->string, "mid");
+  EXPECT_EQ(value.Find("context")->Find("num_shards")->string, "4");
+  ASSERT_EQ(value.Find("results")->elements.size(), 1u);
+  const JsonValue& result = value.Find("results")->elements[0];
+  EXPECT_EQ(result.Find("name")->string, "axpy/d=1024");
+  EXPECT_EQ(result.Find("metrics")->Find("total_bytes")->number, 4096.0);
+  EXPECT_EQ(result.Find("metrics")->Find("speedup")->number, 1.8);
+}
+
+TEST(BenchRecorderTest, NanMetricSerializesAsNull) {
+  BenchRecorder recorder("b");
+  recorder.AddResult("r")->AddMetric("rounds_to_target_rounds",
+                                     std::nan(""));
+  auto doc = ParseJson(recorder.ToJson());
+  ASSERT_TRUE(doc.ok());
+  EXPECT_TRUE(doc.ValueOrDie()
+                  .Find("results")
+                  ->elements[0]
+                  .Find("metrics")
+                  ->Find("rounds_to_target_rounds")
+                  ->is_null());
+}
+
+TEST(BenchRecorderTest, ContextAndMetricsAreSorted) {
+  BenchRecorder recorder("b");
+  recorder.AddContext("z", "1");
+  recorder.AddContext("a", "2");
+  BenchResult* row = recorder.AddResult("r");
+  row->AddMetric("z_bytes", int64_t{1});
+  row->AddMetric("a_bytes", int64_t{2});
+  const std::string json = recorder.ToJson();
+  EXPECT_LT(json.find("\"a\""), json.find("\"z\""));
+  EXPECT_LT(json.find("a_bytes"), json.find("z_bytes"));
+}
+
+TEST(BenchRecorderTest, AddLatencyMetricsUnpacksHistogram) {
+  Histogram h;
+  h.Record(1e-4);
+  h.Record(1e-3);
+  BenchRecorder recorder("b");
+  BenchResult* row = recorder.AddResult("r");
+  row->AddLatencyMetrics("round", "_wall_seconds", h.Stats());
+  const auto& metrics = row->metrics();
+  EXPECT_EQ(metrics.at("round_count"), 2.0);
+  EXPECT_DOUBLE_EQ(metrics.at("round_max_wall_seconds"), 1e-3);
+  EXPECT_DOUBLE_EQ(metrics.at("round_p50_wall_seconds"), 1e-4);
+  EXPECT_GT(metrics.at("round_mean_wall_seconds"), 0.0);
+  EXPECT_TRUE(metrics.count("round_p90_wall_seconds"));
+  EXPECT_TRUE(metrics.count("round_p99_wall_seconds"));
+}
+
+// ---- gate semantics (obs/bench_compare.h) ----
+
+TEST(ClassifyMetricTest, SuffixContract) {
+  EXPECT_EQ(ClassifyMetric("upload_bytes"), MetricClass::kDeterministic);
+  EXPECT_EQ(ClassifyMetric("round_count"), MetricClass::kDeterministic);
+  EXPECT_EQ(ClassifyMetric("to_target_rounds"), MetricClass::kDeterministic);
+  EXPECT_EQ(ClassifyMetric("time_sim_seconds"), MetricClass::kDeterministic);
+  EXPECT_EQ(ClassifyMetric("round_wall_seconds"), MetricClass::kWallClock);
+  EXPECT_EQ(ClassifyMetric("p99_us"), MetricClass::kWallClock);
+  EXPECT_EQ(ClassifyMetric("final_accuracy"), MetricClass::kInformational);
+  EXPECT_EQ(ClassifyMetric("speedup"), MetricClass::kInformational);
+}
+
+std::string Doc(double bytes, double wall, double accuracy) {
+  BenchRecorder recorder("gate");
+  recorder.AddContext("preset", "small");
+  BenchResult* row = recorder.AddResult("r");
+  row->AddMetric("upload_bytes", bytes);
+  row->AddMetric("round_wall_seconds", wall);
+  row->AddMetric("final_accuracy", accuracy);
+  return recorder.ToJson();
+}
+
+TEST(BenchCompareTest, IdenticalDocsPass) {
+  const std::string doc = Doc(1000, 0.5, 0.9);
+  auto report = CompareBenchJson(doc, doc, BenchCompareOptions{});
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report.ValueOrDie().ok);
+  EXPECT_EQ(report.ValueOrDie().metrics_gated, 2);
+}
+
+TEST(BenchCompareTest, DeterministicDriftFailsAtZeroTolerance) {
+  auto report = CompareBenchJson(Doc(1000, 0.5, 0.9), Doc(1001, 0.5, 0.9),
+                                 BenchCompareOptions{});
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report.ValueOrDie().ok);
+  ASSERT_EQ(report.ValueOrDie().failures.size(), 1u);
+  EXPECT_NE(report.ValueOrDie().failures[0].find("upload_bytes"),
+            std::string::npos);
+}
+
+TEST(BenchCompareTest, DeterministicImprovementAlsoFails) {
+  // 0% tolerance gates BOTH directions: fewer bytes than baseline still
+  // means the binary changed behavior and the baseline must be re-pinned.
+  auto report = CompareBenchJson(Doc(1000, 0.5, 0.9), Doc(900, 0.5, 0.9),
+                                 BenchCompareOptions{});
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report.ValueOrDie().ok);
+}
+
+TEST(BenchCompareTest, WallClockRegressionPastToleranceFails) {
+  BenchCompareOptions options;
+  options.tolerance_pct = 25.0;
+  auto ok_report =
+      CompareBenchJson(Doc(1000, 0.5, 0.9), Doc(1000, 0.6, 0.9), options);
+  ASSERT_TRUE(ok_report.ok());
+  EXPECT_TRUE(ok_report.ValueOrDie().ok) << "20% is within the 25% gate";
+
+  auto fail_report =
+      CompareBenchJson(Doc(1000, 0.5, 0.9), Doc(1000, 0.7, 0.9), options);
+  ASSERT_TRUE(fail_report.ok());
+  EXPECT_FALSE(fail_report.ValueOrDie().ok) << "40% must fail";
+}
+
+TEST(BenchCompareTest, WallClockImprovementAlwaysPasses) {
+  auto report = CompareBenchJson(Doc(1000, 0.5, 0.9), Doc(1000, 0.1, 0.9),
+                                 BenchCompareOptions{});
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report.ValueOrDie().ok);
+}
+
+TEST(BenchCompareTest, InformationalDriftIsNotedNotFailed) {
+  auto report = CompareBenchJson(Doc(1000, 0.5, 0.9), Doc(1000, 0.5, 0.7),
+                                 BenchCompareOptions{});
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report.ValueOrDie().ok);
+  EXPECT_FALSE(report.ValueOrDie().notes.empty());
+}
+
+TEST(BenchCompareTest, MissingResultIsCoverageLoss) {
+  BenchRecorder fresh("gate");
+  fresh.AddContext("preset", "small");
+  auto report = CompareBenchJson(Doc(1000, 0.5, 0.9), fresh.ToJson(),
+                                 BenchCompareOptions{});
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report.ValueOrDie().ok);
+}
+
+TEST(BenchCompareTest, NewResultIsNoted) {
+  BenchRecorder fresh("gate");
+  fresh.AddContext("preset", "small");
+  BenchResult* row = fresh.AddResult("r");
+  row->AddMetric("upload_bytes", 1000.0);
+  row->AddMetric("round_wall_seconds", 0.5);
+  row->AddMetric("final_accuracy", 0.9);
+  fresh.AddResult("r2")->AddMetric("upload_bytes", 1.0);
+  auto report = CompareBenchJson(Doc(1000, 0.5, 0.9), fresh.ToJson(),
+                                 BenchCompareOptions{});
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report.ValueOrDie().ok);
+  EXPECT_FALSE(report.ValueOrDie().notes.empty());
+}
+
+TEST(BenchCompareTest, ContextMismatchFailsUnlessAllowed) {
+  BenchRecorder other("gate");
+  other.AddContext("preset", "LARGE");
+  BenchResult* row = other.AddResult("r");
+  row->AddMetric("upload_bytes", 1000.0);
+  row->AddMetric("round_wall_seconds", 0.5);
+  row->AddMetric("final_accuracy", 0.9);
+
+  auto strict = CompareBenchJson(Doc(1000, 0.5, 0.9), other.ToJson(),
+                                 BenchCompareOptions{});
+  ASSERT_TRUE(strict.ok());
+  EXPECT_FALSE(strict.ValueOrDie().ok);
+
+  BenchCompareOptions relaxed;
+  relaxed.require_context_match = false;
+  auto loose =
+      CompareBenchJson(Doc(1000, 0.5, 0.9), other.ToJson(), relaxed);
+  ASSERT_TRUE(loose.ok());
+  EXPECT_TRUE(loose.ValueOrDie().ok);
+}
+
+TEST(BenchCompareTest, GatedMetricGoingNullFails) {
+  BenchRecorder fresh("gate");
+  fresh.AddContext("preset", "small");
+  BenchResult* row = fresh.AddResult("r");
+  row->AddMetric("upload_bytes", std::nan(""));
+  row->AddMetric("round_wall_seconds", 0.5);
+  row->AddMetric("final_accuracy", 0.9);
+  auto report = CompareBenchJson(Doc(1000, 0.5, 0.9), fresh.ToJson(),
+                                 BenchCompareOptions{});
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report.ValueOrDie().ok);
+}
+
+TEST(BenchCompareTest, MalformedDocumentIsInvalidArgument) {
+  auto report =
+      CompareBenchJson("{", Doc(1000, 0.5, 0.9), BenchCompareOptions{});
+  EXPECT_FALSE(report.ok());
+  auto not_bench =
+      CompareBenchJson("{\"x\":1}", Doc(1, 1, 1), BenchCompareOptions{});
+  EXPECT_FALSE(not_bench.ok());
+}
+
+TEST(BenchCompareTest, FileRoundTrip) {
+  const std::string base_path = testing::TempDir() + "/bench_base.json";
+  const std::string fresh_path = testing::TempDir() + "/bench_fresh.json";
+  BenchRecorder recorder("gate");
+  recorder.AddContext("preset", "small");
+  recorder.AddResult("r")->AddMetric("upload_bytes", int64_t{1000});
+  ASSERT_TRUE(recorder.WriteFile(base_path).ok());
+  ASSERT_TRUE(recorder.WriteFile(fresh_path).ok());
+  auto report =
+      CompareBenchFiles(base_path, fresh_path, BenchCompareOptions{});
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report.ValueOrDie().ok);
+  EXPECT_FALSE(
+      CompareBenchFiles(base_path, "/no/such/file.json", BenchCompareOptions{})
+          .ok());
+  std::remove(base_path.c_str());
+  std::remove(fresh_path.c_str());
+}
+
+}  // namespace
+}  // namespace fedadmm::obs

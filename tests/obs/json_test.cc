@@ -1,0 +1,115 @@
+// The obs JSON dialect: both ends of every BENCH_*.json / trace artifact
+// are this library, so the writer and the parser are tested against each
+// other (round-trips) and against hand-written documents.
+
+#include "obs/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace fedadmm::obs {
+namespace {
+
+TEST(JsonWriterTest, FlatObject) {
+  JsonWriter w;
+  w.BeginObject().Key("a").Int(1).Key("b").String("x").EndObject();
+  EXPECT_EQ(w.str(), "{\"a\":1,\"b\":\"x\"}");
+  EXPECT_TRUE(w.complete());
+}
+
+TEST(JsonWriterTest, NestedArraysAndObjects) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("rows").BeginArray();
+  w.BeginObject().Key("v").Bool(true).EndObject();
+  w.Int(7);
+  w.Null();
+  w.EndArray();
+  w.EndObject();
+  EXPECT_EQ(w.str(), "{\"rows\":[{\"v\":true},7,null]}");
+}
+
+TEST(JsonWriterTest, EscapesStrings) {
+  JsonWriter w;
+  w.String("a\"b\\c\n\t");
+  EXPECT_EQ(w.str(), "\"a\\\"b\\\\c\\n\\t\"");
+}
+
+TEST(JsonWriterTest, NanAndInfinityBecomeNull) {
+  JsonWriter w;
+  w.BeginArray()
+      .Double(std::numeric_limits<double>::quiet_NaN())
+      .Double(std::numeric_limits<double>::infinity())
+      .Double(1.5)
+      .EndArray();
+  EXPECT_EQ(w.str(), "[null,null,1.5]");
+}
+
+TEST(JsonWriterTest, DoublesRoundTripBitwise) {
+  const double value = 0.1 + 0.2;  // not representable exactly
+  JsonWriter w;
+  w.Double(value);
+  auto parsed = ParseJson(w.str());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.ValueOrDie().number, value);
+}
+
+TEST(JsonParserTest, ParsesScalars) {
+  EXPECT_EQ(ParseJson("true").ValueOrDie().bool_value, true);
+  EXPECT_TRUE(ParseJson("null").ValueOrDie().is_null());
+  EXPECT_EQ(ParseJson("-2.5e2").ValueOrDie().number, -250.0);
+  EXPECT_EQ(ParseJson("\"hi\\u0041\"").ValueOrDie().string, "hiA");
+}
+
+TEST(JsonParserTest, PreservesObjectOrderAndFind) {
+  auto doc = ParseJson("{\"z\":1,\"a\":2,\"z\":3}");
+  ASSERT_TRUE(doc.ok());
+  const JsonValue& value = doc.ValueOrDie();
+  ASSERT_EQ(value.members.size(), 3u);
+  EXPECT_EQ(value.members[0].first, "z");
+  EXPECT_EQ(value.members[1].first, "a");
+  // Find returns the FIRST member with the key.
+  ASSERT_NE(value.Find("z"), nullptr);
+  EXPECT_EQ(value.Find("z")->number, 1.0);
+  EXPECT_EQ(value.Find("missing"), nullptr);
+}
+
+TEST(JsonParserTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("[1,]").ok());
+  EXPECT_FALSE(ParseJson("{\"a\":}").ok());
+  EXPECT_FALSE(ParseJson("tru").ok());
+  EXPECT_FALSE(ParseJson("1 2").ok()) << "trailing garbage must fail";
+}
+
+TEST(JsonParserTest, RejectsRunawayNesting) {
+  std::string deep(100, '[');
+  EXPECT_FALSE(ParseJson(deep).ok());
+}
+
+TEST(JsonRoundTripTest, WriterOutputParsesBack) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("bench").String("kernels");
+  w.Key("metrics").BeginObject();
+  w.Key("p50_us").Double(12.25);
+  w.Key("count").Int(42);
+  w.EndObject();
+  w.Key("tags").BeginArray().String("a\"b").String("c").EndArray();
+  w.EndObject();
+
+  auto doc = ParseJson(w.str());
+  ASSERT_TRUE(doc.ok());
+  const JsonValue& value = doc.ValueOrDie();
+  EXPECT_EQ(value.Find("bench")->string, "kernels");
+  EXPECT_EQ(value.Find("metrics")->Find("p50_us")->number, 12.25);
+  EXPECT_EQ(value.Find("metrics")->Find("count")->number, 42.0);
+  ASSERT_EQ(value.Find("tags")->elements.size(), 2u);
+  EXPECT_EQ(value.Find("tags")->elements[0].string, "a\"b");
+}
+
+}  // namespace
+}  // namespace fedadmm::obs

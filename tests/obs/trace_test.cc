@@ -1,0 +1,172 @@
+// Tracing: TraceScope activation rules, the bounded chrome://tracing
+// recorder, and the JSONL round-trace writer.
+
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.h"
+
+namespace fedadmm::obs {
+namespace {
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::string TempPath(const char* name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(TraceScopeTest, InactiveWithoutAnySink) {
+  ASSERT_FALSE(MetricsRegistry::Global().enabled());
+  ASSERT_FALSE(TraceRecorder::Global().enabled());
+  TraceScope scope("noop", "test");
+  EXPECT_EQ(scope.Stop(), 0.0);
+}
+
+TEST(TraceScopeTest, ForceTimingMeasuresWithoutSinks) {
+  TraceScope scope("forced", "test", nullptr, /*force_timing=*/true);
+  const double seconds = scope.Stop();
+  EXPECT_GE(seconds, 0.0);
+  // Stop is idempotent: the second call reports the scope inactive.
+  EXPECT_EQ(scope.Stop(), 0.0);
+}
+
+TEST(TraceScopeTest, FeedsHistogramWhenMetricsEnabled) {
+  MetricsRegistry registry;  // private registry: no global state leaks
+  Histogram* hist = registry.histogram("scope_seconds");
+  {
+    // The scope consults the GLOBAL enabled flag; flip it around the span.
+    MetricsRegistry::Global().set_enabled(true);
+    TraceScope scope("span", "test", hist);
+    scope.Stop();
+    MetricsRegistry::Global().set_enabled(false);
+  }
+  EXPECT_EQ(hist->Stats().count, 1);
+}
+
+TEST(TraceScopeTest, SkipsHistogramWhenMetricsDisabled) {
+  MetricsRegistry registry;
+  Histogram* hist = registry.histogram("scope_seconds");
+  ASSERT_FALSE(MetricsRegistry::Global().enabled());
+  {
+    TraceScope scope("span", "test", hist);
+  }
+  EXPECT_EQ(hist->Stats().count, 0);
+}
+
+TEST(TraceRecorderTest, CapturesScopesAndWritesChromeTrace) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Start();
+  {
+    TraceScope scope("outer", "test");
+    scope.set_arg("round", 3);
+    TraceScope inner("inner", "test");
+  }
+  recorder.Stop();
+  EXPECT_EQ(recorder.size(), 2u);
+  EXPECT_EQ(recorder.dropped(), 0u);
+
+  const std::string path = TempPath("trace_test_chrome.json");
+  ASSERT_TRUE(recorder.WriteChromeTrace(path).ok());
+  auto doc = ParseJson(ReadAll(path));
+  ASSERT_TRUE(doc.ok()) << doc.status().message();
+  const JsonValue& value = doc.ValueOrDie();
+  const JsonValue* events = value.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->elements.size(), 2u);
+  // Completed-event format chrome://tracing/perfetto load directly.
+  for (const JsonValue& event : events->elements) {
+    EXPECT_EQ(event.Find("ph")->string, "X");
+    EXPECT_TRUE(event.Find("ts")->is_number());
+    EXPECT_TRUE(event.Find("dur")->is_number());
+    EXPECT_TRUE(event.Find("tid")->is_number());
+  }
+  // Inner scope closed first, so it is recorded first.
+  EXPECT_EQ(events->elements[0].Find("name")->string, "inner");
+  EXPECT_EQ(events->elements[1].Find("name")->string, "outer");
+  EXPECT_EQ(events->elements[1].Find("args")->Find("round")->number, 3.0);
+  std::remove(path.c_str());
+}
+
+TEST(TraceRecorderTest, BoundedBufferCountsDrops) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Start(/*max_events=*/2);
+  for (int i = 0; i < 5; ++i) {
+    TraceScope scope("evt", "test");
+  }
+  recorder.Stop();
+  EXPECT_EQ(recorder.size(), 2u);
+  EXPECT_EQ(recorder.dropped(), 3u);
+
+  const std::string path = TempPath("trace_test_dropped.json");
+  ASSERT_TRUE(recorder.WriteChromeTrace(path).ok());
+  auto doc = ParseJson(ReadAll(path));
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.ValueOrDie().Find("droppedEvents")->number, 3.0);
+  std::remove(path.c_str());
+}
+
+TEST(TraceRecorderTest, StartClearsPreviousCapture) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Start();
+  {
+    TraceScope scope("first", "test");
+  }
+  recorder.Stop();
+  ASSERT_GE(recorder.size(), 1u);
+  recorder.Start();
+  recorder.Stop();
+  EXPECT_EQ(recorder.size(), 0u);
+}
+
+TEST(RoundTraceWriterTest, AppendsJsonlLines) {
+  const std::string path = TempPath("round_trace_test.jsonl");
+  RoundTraceWriter writer;
+  ASSERT_TRUE(writer.Open(path).ok());
+  EXPECT_TRUE(writer.is_open());
+  EXPECT_FALSE(writer.deterministic_only());
+  ASSERT_TRUE(writer.Append("{\"round\":0}").ok());
+  ASSERT_TRUE(writer.Append("{\"round\":1}").ok());
+  ASSERT_TRUE(writer.Close().ok());
+  EXPECT_FALSE(writer.is_open());
+
+  std::ifstream in(path);
+  std::string line;
+  int rounds = 0;
+  while (std::getline(in, line)) {
+    auto doc = ParseJson(line);
+    ASSERT_TRUE(doc.ok()) << line;
+    EXPECT_EQ(doc.ValueOrDie().Find("round")->number, rounds);
+    ++rounds;
+  }
+  EXPECT_EQ(rounds, 2);
+  std::remove(path.c_str());
+}
+
+TEST(RoundTraceWriterTest, DeterministicOnlyFlagSticks) {
+  const std::string path = TempPath("round_trace_det.jsonl");
+  RoundTraceWriter writer;
+  ASSERT_TRUE(writer.Open(path, /*deterministic_only=*/true).ok());
+  EXPECT_TRUE(writer.deterministic_only());
+  ASSERT_TRUE(writer.Close().ok());
+  std::remove(path.c_str());
+}
+
+TEST(RoundTraceWriterTest, OpenFailsOnBadPath) {
+  RoundTraceWriter writer;
+  EXPECT_FALSE(writer.Open("/nonexistent-dir-xyz/trace.jsonl").ok());
+  EXPECT_FALSE(writer.is_open());
+}
+
+}  // namespace
+}  // namespace fedadmm::obs

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
 namespace fedadmm {
 namespace {
 
@@ -29,6 +34,49 @@ TEST(LoggingTest, EmittedMessagesDoNotCrash) {
   SetLogLevel(LogLevel::kDebug);
   FEDADMM_LOG(Debug) << "visible debug from logging_test";
   SetLogLevel(original);
+}
+
+TEST(LoggingTest, ConcurrentLoggersNeverInterleaveMidLine) {
+  // Each emission is ONE fwrite of the full line (util/logging.cc), so N
+  // threads hammering the sink must produce whole lines only. Capture
+  // stderr and check every thread's every message survived intact.
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kInfo);
+  constexpr int kThreads = 8;
+  constexpr int kMessagesPerThread = 50;
+
+  testing::internal::CaptureStderr();
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([t] {
+        for (int m = 0; m < kMessagesPerThread; ++m) {
+          FEDADMM_LOG(Info) << "stress|t=" << t << "|m=" << m << "|end";
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+  }
+  const std::string captured = testing::internal::GetCapturedStderr();
+  SetLogLevel(original);
+
+  // Count intact payloads line by line: a line either carries exactly one
+  // complete "stress|t=T|m=M|end" payload or none. Torn writes would split
+  // a payload across lines or fuse two into one.
+  std::istringstream lines(captured);
+  std::string line;
+  int intact = 0;
+  while (std::getline(lines, line)) {
+    const size_t start = line.find("stress|");
+    if (start == std::string::npos) continue;  // unrelated log traffic
+    EXPECT_EQ(line.find("stress|", start + 1), std::string::npos)
+        << "two payloads fused into one line: " << line;
+    const size_t end = line.find("|end", start);
+    ASSERT_NE(end, std::string::npos) << "payload torn mid-line: " << line;
+    ++intact;
+  }
+  EXPECT_EQ(intact, kThreads * kMessagesPerThread);
 }
 
 TEST(LoggingTest, StreamsManyTypes) {

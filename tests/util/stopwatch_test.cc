@@ -1,0 +1,89 @@
+// StopwatchAccumulator: pause/resume bookkeeping. The clock-free
+// AddSeconds path carries the exact-arithmetic assertions; the real-clock
+// paths assert monotonicity only.
+
+#include "util/stopwatch.h"
+
+#include <gtest/gtest.h>
+
+namespace fedadmm {
+namespace {
+
+TEST(StopwatchAccumulatorTest, StartsEmpty) {
+  StopwatchAccumulator acc;
+  EXPECT_EQ(acc.TotalSeconds(), 0.0);
+  EXPECT_EQ(acc.segments(), 0);
+  EXPECT_FALSE(acc.running());
+}
+
+TEST(StopwatchAccumulatorTest, AddSecondsAccumulatesExactly) {
+  StopwatchAccumulator acc;
+  acc.AddSeconds(0.25);
+  acc.AddSeconds(0.5);
+  acc.AddSeconds(0.125);
+  EXPECT_DOUBLE_EQ(acc.TotalSeconds(), 0.875);
+  EXPECT_EQ(acc.segments(), 3);
+  EXPECT_FALSE(acc.running());
+}
+
+TEST(StopwatchAccumulatorTest, StartStopCompletesSegments) {
+  StopwatchAccumulator acc;
+  acc.Start();
+  EXPECT_TRUE(acc.running());
+  // A running segment is not part of the total yet.
+  EXPECT_EQ(acc.segments(), 0);
+  const double first = acc.Stop();
+  EXPECT_GE(first, 0.0);
+  EXPECT_FALSE(acc.running());
+  EXPECT_EQ(acc.segments(), 1);
+  EXPECT_DOUBLE_EQ(acc.TotalSeconds(), first);
+
+  acc.Start();
+  const double second = acc.Stop();
+  EXPECT_EQ(acc.segments(), 2);
+  EXPECT_DOUBLE_EQ(acc.TotalSeconds(), first + second);
+}
+
+TEST(StopwatchAccumulatorTest, StopWithoutStartIsNoOp) {
+  StopwatchAccumulator acc;
+  EXPECT_EQ(acc.Stop(), 0.0);
+  EXPECT_EQ(acc.segments(), 0);
+  EXPECT_EQ(acc.TotalSeconds(), 0.0);
+}
+
+TEST(StopwatchAccumulatorTest, DoubleStartKeepsOriginalSegment) {
+  StopwatchAccumulator acc;
+  acc.Start();
+  acc.Start();  // no-op: must not restart the segment or create a second one
+  EXPECT_TRUE(acc.running());
+  acc.Stop();
+  EXPECT_EQ(acc.segments(), 1);
+  // The no-op Start left nothing pending.
+  EXPECT_EQ(acc.Stop(), 0.0);
+  EXPECT_EQ(acc.segments(), 1);
+}
+
+TEST(StopwatchAccumulatorTest, ResetClearsEverythingIncludingRunning) {
+  StopwatchAccumulator acc;
+  acc.AddSeconds(1.0);
+  acc.Start();
+  acc.Reset();
+  EXPECT_EQ(acc.TotalSeconds(), 0.0);
+  EXPECT_EQ(acc.segments(), 0);
+  EXPECT_FALSE(acc.running());
+  // A Stop after Reset must not conjure a segment from the dead Start.
+  EXPECT_EQ(acc.Stop(), 0.0);
+  EXPECT_EQ(acc.segments(), 0);
+}
+
+TEST(StopwatchAccumulatorTest, MixedClockAndExternalSegments) {
+  StopwatchAccumulator acc;
+  acc.AddSeconds(0.5);
+  acc.Start();
+  const double timed = acc.Stop();
+  EXPECT_DOUBLE_EQ(acc.TotalSeconds(), 0.5 + timed);
+  EXPECT_EQ(acc.segments(), 2);
+}
+
+}  // namespace
+}  // namespace fedadmm

@@ -1,0 +1,121 @@
+// bench_diff: the CI regression gate over the BENCH_*.json perf rail.
+//
+// Usage:
+//   bench_diff --baseline BENCH_kernels.json --fresh /tmp/BENCH_kernels.json
+//              [--tolerance-pct 25] [--deterministic-tolerance-pct 0]
+//              [--allow-context-drift]
+//
+// Exit code 0 when every gated metric is within tolerance, 1 on regression,
+// 2 on usage/IO errors. All semantics live in obs/bench_compare.h so they
+// are unit-tested; this binary only parses flags and prints the report.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "obs/bench_compare.h"
+
+namespace {
+
+void PrintUsage() {
+  std::fprintf(
+      stderr,
+      "usage: bench_diff --baseline <committed.json> --fresh <new.json>\n"
+      "                  [--tolerance-pct <pct, default 25>]\n"
+      "                  [--deterministic-tolerance-pct <pct, default 0>]\n"
+      "                  [--allow-context-drift]\n");
+}
+
+bool ParseDouble(const char* text, double* out) {
+  char* end = nullptr;
+  const double value = std::strtod(text, &end);
+  if (end == text || *end != '\0') return false;
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path;
+  std::string fresh_path;
+  fedadmm::obs::BenchCompareOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    if (std::strcmp(arg, "--baseline") == 0) {
+      const char* value = next();
+      if (value == nullptr) {
+        PrintUsage();
+        return 2;
+      }
+      baseline_path = value;
+    } else if (std::strcmp(arg, "--fresh") == 0) {
+      const char* value = next();
+      if (value == nullptr) {
+        PrintUsage();
+        return 2;
+      }
+      fresh_path = value;
+    } else if (std::strcmp(arg, "--tolerance-pct") == 0) {
+      const char* value = next();
+      if (value == nullptr || !ParseDouble(value, &options.tolerance_pct)) {
+        PrintUsage();
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--deterministic-tolerance-pct") == 0) {
+      const char* value = next();
+      if (value == nullptr ||
+          !ParseDouble(value, &options.deterministic_tolerance_pct)) {
+        PrintUsage();
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--allow-context-drift") == 0) {
+      options.require_context_match = false;
+    } else if (std::strcmp(arg, "--help") == 0 ||
+               std::strcmp(arg, "-h") == 0) {
+      PrintUsage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "bench_diff: unknown flag '%s'\n", arg);
+      PrintUsage();
+      return 2;
+    }
+  }
+
+  if (baseline_path.empty() || fresh_path.empty()) {
+    PrintUsage();
+    return 2;
+  }
+
+  auto result =
+      fedadmm::obs::CompareBenchFiles(baseline_path, fresh_path, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "bench_diff: %s\n",
+                 result.status().message().c_str());
+    return 2;
+  }
+
+  const fedadmm::obs::BenchCompareReport& report = result.ValueOrDie();
+  std::printf("bench_diff: %s vs %s — %d metrics compared, %d gated\n",
+              baseline_path.c_str(), fresh_path.c_str(),
+              report.metrics_compared, report.metrics_gated);
+  for (const std::string& note : report.notes) {
+    std::printf("  note: %s\n", note.c_str());
+  }
+  for (const std::string& failure : report.failures) {
+    std::printf("  FAIL: %s\n", failure.c_str());
+  }
+  if (!report.ok) {
+    std::printf("bench_diff: FAILED (%zu regression%s)\n",
+                report.failures.size(),
+                report.failures.size() == 1 ? "" : "s");
+    return 1;
+  }
+  std::printf("bench_diff: OK\n");
+  return 0;
+}
