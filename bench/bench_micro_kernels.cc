@@ -17,10 +17,12 @@
 #include <string>
 #include <vector>
 
+#include "comm/quantize.h"
 #include "core/fedadmm.h"
 #include "fl/algorithm.h"
 #include "nn/model_zoo.h"
 #include "obs/bench_recorder.h"
+#include "tensor/simd/simd.h"
 #include "tensor/tensor_ops.h"
 #include "tensor/vec.h"
 #include "util/env.h"
@@ -36,6 +38,15 @@ std::vector<float> RandomVec(size_t n, uint64_t seed) {
   for (auto& x : v) x = static_cast<float>(rng.Normal(0.0, 1.0));
   return v;
 }
+
+/// Pins the kernel table for the duration of one benchmark so the
+/// `*Scalar` variants measure the genuine scalar fallback against the
+/// otherwise-identical dispatched benchmark. Benchmarks run their hot
+/// loops on this thread, so flipping the table here is safe.
+struct ScopedForcedScalar {
+  ScopedForcedScalar() { simd::ForceIsaForTesting(simd::Isa::kScalar); }
+  ~ScopedForcedScalar() { simd::ForceIsaForTesting(std::nullopt); }
+};
 
 void BM_MatMul(benchmark::State& state) {
   const int64_t n = state.range(0);
@@ -187,6 +198,120 @@ void BM_VecDot(benchmark::State& state) {
 }
 BENCHMARK(BM_VecDot)->Arg(4096)->Arg(1 << 17);
 
+// ---- Dispatched-vs-forced-scalar pairs ------------------------------------
+// Each `*Scalar` benchmark is its dispatched twin re-run with the kernel
+// table pinned to the scalar reference; the ratio is the SIMD speedup on
+// this host (both produce bitwise identical results by contract).
+
+void BM_VecAxpyScalar(benchmark::State& state) {
+  ScopedForcedScalar forced;
+  const size_t d = static_cast<size_t>(state.range(0));
+  const auto x = RandomVec(d, 6);
+  auto y = RandomVec(d, 7);
+  for (auto _ : state) {
+    vec::Axpy(0.01f, x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(d) * 2 * 4);
+}
+BENCHMARK(BM_VecAxpyScalar)->Arg(1 << 17);
+
+void BM_AxpyManyScalar(benchmark::State& state) {
+  ScopedForcedScalar forced;
+  const size_t d = static_cast<size_t>(state.range(0));
+  const size_t count = static_cast<size_t>(state.range(1));
+  std::vector<std::vector<float>> xs;
+  for (size_t i = 0; i < count; ++i) xs.push_back(RandomVec(d, 20 + i));
+  std::vector<std::span<const float>> views(xs.begin(), xs.end());
+  auto y = RandomVec(d, 19);
+  for (auto _ : state) {
+    vec::AxpyMany(0.01f, views, y, nullptr);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(d * (count + 2)) * 4);
+}
+BENCHMARK(BM_AxpyManyScalar)->Args({1 << 17, 32});
+
+void BM_VecDotScalar(benchmark::State& state) {
+  ScopedForcedScalar forced;
+  const size_t d = static_cast<size_t>(state.range(0));
+  const auto x = RandomVec(d, 8);
+  const auto y = RandomVec(d, 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vec::Dot(x, y));
+  }
+}
+BENCHMARK(BM_VecDotScalar)->Arg(1 << 17);
+
+void BM_MatMulScalar(benchmark::State& state) {
+  ScopedForcedScalar forced;
+  const int64_t n = state.range(0);
+  const auto a = RandomVec(static_cast<size_t>(n * n), 1);
+  const auto b = RandomVec(static_cast<size_t>(n * n), 2);
+  std::vector<float> c(static_cast<size_t>(n * n));
+  for (auto _ : state) {
+    ops::MatMul(a.data(), b.data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatMulScalar)->Arg(128);
+
+// The q-codec wire path: per-chunk max|v|, grid quantization, and bit
+// packing (encode); bit unpacking and grid reconstruction (decode).
+// Arg0 = dim, Arg1 = bits.
+void BM_QuantEncode(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const int bits = static_cast<int>(state.range(1));
+  UniformQuantCodec codec(bits);
+  const auto v = RandomVec(d, 13);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.Encode(0, v, nullptr));
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(d) * 4);
+}
+BENCHMARK(BM_QuantEncode)->Args({1 << 17, 8})->Args({1 << 17, 12});
+
+void BM_QuantEncodeScalar(benchmark::State& state) {
+  ScopedForcedScalar forced;
+  const size_t d = static_cast<size_t>(state.range(0));
+  const int bits = static_cast<int>(state.range(1));
+  UniformQuantCodec codec(bits);
+  const auto v = RandomVec(d, 13);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.Encode(0, v, nullptr));
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(d) * 4);
+}
+BENCHMARK(BM_QuantEncodeScalar)->Args({1 << 17, 8});
+
+void BM_QuantDecode(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const int bits = static_cast<int>(state.range(1));
+  UniformQuantCodec codec(bits);
+  const Payload payload = codec.Encode(0, RandomVec(d, 14), nullptr);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.Decode(payload));
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(d) * 4);
+}
+BENCHMARK(BM_QuantDecode)->Args({1 << 17, 8})->Args({1 << 17, 12});
+
+void BM_QuantDecodeScalar(benchmark::State& state) {
+  ScopedForcedScalar forced;
+  const size_t d = static_cast<size_t>(state.range(0));
+  const int bits = static_cast<int>(state.range(1));
+  UniformQuantCodec codec(bits);
+  const Payload payload = codec.Encode(0, RandomVec(d, 14), nullptr);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.Decode(payload));
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(d) * 4);
+}
+BENCHMARK(BM_QuantDecodeScalar)->Args({1 << 17, 8});
+
 void BM_SoftmaxRows(benchmark::State& state) {
   const int64_t rows = state.range(0);
   const auto logits = RandomVec(static_cast<size_t>(rows * 10), 10);
@@ -248,6 +373,10 @@ int main(int argc, char** argv) {
   fedadmm::obs::BenchRecorder recorder("kernels");
   recorder.AddContext("scale",
                       fedadmm::GetEnvString("FEDADMM_BENCH_SCALE", "small"));
+  // Which kernel table the dispatched benchmarks ran: numbers measured on
+  // different ISAs are not comparable, so the gate should refuse them.
+  recorder.AddContext("isa",
+                      fedadmm::simd::IsaName(fedadmm::simd::ActiveIsa()));
   fedadmm::JsonTeeReporter reporter(&recorder);
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();

@@ -1,9 +1,11 @@
 #include "comm/quantize.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
 
 #include "comm/wire.h"
+#include "tensor/simd/simd.h"
 
 namespace fedadmm {
 namespace {
@@ -11,20 +13,24 @@ namespace {
 // Chunk scale: max |v| over [begin, end). NaNs are rejected (a NaN delta is
 // a training bug upstream); infinities cannot be gridded either.
 float ChunkScale(const std::vector<float>& v, size_t begin, size_t end) {
-  float scale = 0.0f;
-  for (size_t i = begin; i < end; ++i) {
-    FEDADMM_CHECK_MSG(std::isfinite(v[i]), "quantize: non-finite input");
-    scale = std::max(scale, std::fabs(v[i]));
-  }
+  bool saw_nan = false;
+  const float scale =
+      simd::ActiveKernels().max_abs(v.data() + begin, end - begin, &saw_nan);
+  FEDADMM_CHECK_MSG(!saw_nan && std::isfinite(scale),
+                    "quantize: non-finite input");
   return scale;
 }
 
 }  // namespace
 
-ChunkedQuantCodec::ChunkedQuantCodec(int bits, int chunk)
-    : bits_(bits), chunk_(chunk), levels_((1 << bits) - 1) {
+int ChunkedQuantCodec::ValidatedLevels(int bits) {
   FEDADMM_CHECK_MSG(bits >= 1 && bits <= 16,
                     "ChunkedQuantCodec: bits in [1, 16]");
+  return (1 << bits) - 1;
+}
+
+ChunkedQuantCodec::ChunkedQuantCodec(int bits, int chunk)
+    : bits_(bits), chunk_(chunk), levels_(ValidatedLevels(bits)) {
   FEDADMM_CHECK_MSG(chunk >= 1, "ChunkedQuantCodec: chunk >= 1");
 }
 
@@ -35,10 +41,27 @@ Payload ChunkedQuantCodec::EncodeImpl(const std::vector<float>& v, Rng* rng) {
   wire::Writer writer(&payload.bytes);
   writer.PutU64(v.size());
   const size_t chunk = static_cast<size_t>(chunk_);
+  const simd::KernelTable& kern = simd::ActiveKernels();
+  // Deterministic-grid subclasses (round-to-nearest, no Rng) run the batch
+  // quantize + pack kernels; the codes they produce are exactly what the
+  // per-element path below would feed the BitPacker, so both paths emit
+  // identical bytes. Stochastic subclasses keep the sequential path: one
+  // Rng draw per coordinate, in coordinate order, is the replay contract.
+  const bool batch = UsesDeterministicGrid();
+  std::vector<uint16_t> codes(batch ? std::min(chunk, v.size()) : 0);
   for (size_t begin = 0; begin < v.size(); begin += chunk) {
     const size_t end = std::min(begin + chunk, v.size());
     const float scale = ChunkScale(v, begin, end);
     writer.PutF32(scale);
+    const size_t len = end - begin;
+    if (batch) {
+      kern.quantize_uniform(v.data() + begin, len, scale, levels_,
+                            codes.data());
+      uint8_t* out = writer.Extend(static_cast<size_t>(
+          wire::BitPacker::PackedBytes(static_cast<int64_t>(len), bits_)));
+      kern.pack_codes(codes.data(), len, bits_, out);
+      continue;
+    }
     wire::BitPacker packer(&writer, bits_);
     for (size_t i = begin; i < end; ++i) {
       // Grid position in [0, L] of v on the symmetric range [-s, +s]. An
@@ -66,18 +89,19 @@ std::vector<float> ChunkedQuantCodec::Decode(const Payload& payload) const {
   const uint64_t dim = reader.GetU64();
   std::vector<float> v(dim);
   const size_t chunk = static_cast<size_t>(chunk_);
+  // Decoding is the deterministic grid inverse for every subclass (the
+  // rounding rule only affects encoding), so the batch kernels always
+  // apply: unpack a whole chunk, then map codes to grid points.
+  const simd::KernelTable& kern = simd::ActiveKernels();
+  std::vector<uint16_t> codes(std::min(chunk, static_cast<size_t>(dim)));
   for (size_t begin = 0; begin < dim; begin += chunk) {
     const size_t end = std::min(begin + chunk, static_cast<size_t>(dim));
     const float scale = reader.GetF32();
-    wire::BitUnpacker unpacker(&reader, bits_);
-    for (size_t i = begin; i < end; ++i) {
-      const uint32_t code = unpacker.Get();
-      if (scale == 0.0f) {
-        v[i] = 0.0f;
-      } else {
-        v[i] = static_cast<float>((2.0 * code / levels_ - 1.0) * scale);
-      }
-    }
+    const size_t len = end - begin;
+    const uint8_t* bytes = reader.Skip(static_cast<size_t>(
+        wire::BitPacker::PackedBytes(static_cast<int64_t>(len), bits_)));
+    kern.unpack_codes(bytes, len, bits_, codes.data());
+    kern.dequantize_grid(codes.data(), len, scale, levels_, v.data() + begin);
   }
   FEDADMM_CHECK_MSG(reader.remaining() == 0,
                     "ChunkedQuantCodec: trailing payload bytes");

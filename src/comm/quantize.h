@@ -56,7 +56,19 @@ class ChunkedQuantCodec : public UpdateCodec {
   /// Maps x in [0, L] to an integer code in [0, L].
   virtual uint32_t Quantize(double x, Rng* rng) const = 0;
 
+  /// True when `Quantize` is exactly round-to-nearest on the grid with no
+  /// Rng consumption — the contract that lets `EncodeImpl` run the batch
+  /// SIMD quantizer kernel instead of the per-element virtual call.
+  /// Stochastic subclasses must return false: their per-coordinate Rng
+  /// draws are part of the replay contract and must stay sequential.
+  virtual bool UsesDeterministicGrid() const { return false; }
+
  private:
+  /// CHECKs `bits` in [1, 16] *before* computing L = 2^bits − 1, so an
+  /// out-of-range width aborts cleanly instead of hitting undefined
+  /// behavior in the shift (member initializers run before the ctor body).
+  static int ValidatedLevels(int bits);
+
   int bits_;
   int chunk_;
   int levels_;
@@ -74,6 +86,7 @@ class UniformQuantCodec : public ChunkedQuantCodec {
 
  protected:
   uint32_t Quantize(double x, Rng* rng) const override;
+  bool UsesDeterministicGrid() const override { return true; }
 };
 
 /// \brief Stochastic rounding; unbiased, error < 2*scale/L per coordinate.

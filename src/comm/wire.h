@@ -45,6 +45,15 @@ class Writer {
     PutU32(bits);
   }
 
+  /// Appends `n` uninitialized-content (zeroed) bytes and returns a pointer
+  /// to them, for block writers (e.g. SIMD bit packing) that produce whole
+  /// regions at once. The pointer is invalidated by any further append.
+  uint8_t* Extend(size_t n) {
+    const size_t pos = out_->size();
+    out_->resize(pos + n);
+    return out_->data() + pos;
+  }
+
  private:
   std::vector<uint8_t>* out_;
 };
@@ -86,6 +95,15 @@ class Reader {
     float v = 0.0f;
     std::memcpy(&v, &bits, sizeof(v));
     return v;
+  }
+
+  /// Consumes `n` bytes at once and returns a pointer to them, for block
+  /// readers (e.g. SIMD bit unpacking) that parse whole regions directly.
+  const uint8_t* Skip(size_t n) {
+    FEDADMM_CHECK_MSG(pos_ + n <= bytes_.size(), "wire: truncated payload");
+    const uint8_t* p = bytes_.data() + pos_;
+    pos_ += n;
+    return p;
   }
 
   /// Bytes not yet consumed.

@@ -22,6 +22,8 @@ void DenseStateStore::Configure(int num_clients,
     slot.dim = spec.dim;
     const size_t dim = static_cast<size_t>(spec.dim);
     slot.arena.assign(static_cast<size_t>(num_clients) * dim, 0.0f);
+    FEDADMM_CHECK_MSG(IsAligned(slot.arena.data()),
+                      "DenseStateStore: arena not 64-byte aligned");
     if (!spec.init.empty()) {
       for (int c = 0; c < num_clients; ++c) {
         std::memcpy(slot.arena.data() + static_cast<size_t>(c) * dim,

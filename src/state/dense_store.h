@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "state/client_state_store.h"
+#include "util/aligned.h"
 
 namespace fedadmm {
 
@@ -43,8 +44,10 @@ class DenseStateStore final : public ClientStateStore {
  private:
   struct Slot {
     int64_t dim = 0;
-    /// `num_clients × dim` floats, client-major.
-    std::vector<float> arena;
+    /// `num_clients × dim` floats, client-major; the arena base is 64-byte
+    /// aligned (kernel fast case) with no stride padding (layout and
+    /// `bytes_resident` are pinned by the equivalence tests).
+    AlignedVector<float> arena;
   };
 
   int num_clients_ = 0;

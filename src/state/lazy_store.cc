@@ -39,11 +39,13 @@ void LazyStateStore::Configure(int num_clients,
 
 float* LazyStateStore::Materialize(int client_id, Slot* slot) {
   if (slot->used_in_slab == slot->slab_blocks) {
-    slot->slabs.push_back(std::make_unique<float[]>(
-        static_cast<size_t>(slot->slab_blocks * slot->dim)));
+    slot->slabs.emplace_back(
+        static_cast<size_t>(slot->slab_blocks * slot->dim), 0.0f);
+    FEDADMM_CHECK_MSG(IsAligned(slot->slabs.back().data()),
+                      "LazyStateStore: slab not 64-byte aligned");
     slot->used_in_slab = 0;
   }
-  float* block = slot->slabs.back().get() +
+  float* block = slot->slabs.back().data() +
                  static_cast<size_t>(slot->used_in_slab * slot->dim);
   ++slot->used_in_slab;
   std::memcpy(block, slot->init.data(),

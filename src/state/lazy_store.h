@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "state/client_state_store.h"
+#include "util/aligned.h"
 
 namespace fedadmm {
 
@@ -58,8 +59,10 @@ class LazyStateStore final : public ClientStateStore {
     std::vector<float> init;
     /// Per-client block pointer; nullptr = untouched.
     std::vector<float*> blocks;
-    /// Bump-allocated slabs of `slab_blocks` blocks each.
-    std::vector<std::unique_ptr<float[]>> slabs;
+    /// Bump-allocated slabs of `slab_blocks` blocks each. Each slab's base
+    /// is 64-byte aligned; moving the outer vector moves only heap
+    /// buffers, so carved block pointers stay stable as slabs are added.
+    std::vector<AlignedVector<float>> slabs;
     int64_t slab_blocks = 0;
     /// Blocks already carved from the last slab.
     int64_t used_in_slab = 0;

@@ -1,0 +1,105 @@
+/// \file dispatch.cc
+/// \brief Runtime ISA selection for the kernel table.
+///
+/// Resolution happens once, at the first `ActiveKernels()` call:
+///   1. `ForceIsaForTesting` override, if set.
+///   2. `FEDADMM_FORCE_SCALAR` environment variable (truthy → scalar).
+///   3. Best table the host supports: AVX2+FMA when compiled in and both
+///      cpuid feature bits are present, else scalar.
+/// The decision is cached in an atomic so the hot paths pay one relaxed
+/// load; `ForceIsaForTesting` resets the cache from setup code.
+
+#include <atomic>
+#include <optional>
+
+#include "tensor/simd/simd.h"
+#include "util/env.h"
+#include "util/status.h"
+
+namespace fedadmm::simd {
+
+#if defined(FEDADMM_HAVE_AVX2_KERNELS)
+namespace internal {
+const KernelTable& Avx2KernelTable();  // defined in kernels_avx2.cc
+}
+#endif
+
+namespace {
+
+struct Choice {
+  const KernelTable* table;
+  Isa isa;
+};
+
+Choice Resolve() {
+  if (GetEnvBool("FEDADMM_FORCE_SCALAR", false)) {
+    return {&ScalarKernels(), Isa::kScalar};
+  }
+  if (const KernelTable* avx2 = Avx2Kernels()) {
+    return {avx2, Isa::kAvx2};
+  }
+  return {&ScalarKernels(), Isa::kScalar};
+}
+
+// Cached decision; nullptr table means "not resolved yet".
+std::atomic<const KernelTable*> g_table{nullptr};
+std::atomic<Isa> g_isa{Isa::kScalar};
+
+const KernelTable& ResolveAndCache() {
+  const Choice c = Resolve();
+  g_isa.store(c.isa, std::memory_order_relaxed);
+  g_table.store(c.table, std::memory_order_release);
+  return *c.table;
+}
+
+}  // namespace
+
+const char* IsaName(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return "scalar";
+    case Isa::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+const KernelTable* Avx2Kernels() {
+#if defined(FEDADMM_HAVE_AVX2_KERNELS)
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return &internal::Avx2KernelTable();
+  }
+#endif
+  return nullptr;
+}
+
+const KernelTable& ActiveKernels() {
+  const KernelTable* t = g_table.load(std::memory_order_acquire);
+  if (t != nullptr) return *t;
+  return ResolveAndCache();
+}
+
+Isa ActiveIsa() {
+  ActiveKernels();  // ensure resolved
+  return g_isa.load(std::memory_order_relaxed);
+}
+
+void ForceIsaForTesting(std::optional<Isa> isa) {
+  if (!isa.has_value()) {
+    g_table.store(nullptr, std::memory_order_release);
+    ResolveAndCache();
+    return;
+  }
+  if (*isa == Isa::kAvx2) {
+    const KernelTable* avx2 = Avx2Kernels();
+    FEDADMM_CHECK_MSG(avx2 != nullptr,
+                      "ForceIsaForTesting(kAvx2): AVX2 kernels unavailable");
+    g_isa.store(Isa::kAvx2, std::memory_order_relaxed);
+    g_table.store(avx2, std::memory_order_release);
+    return;
+  }
+  g_isa.store(Isa::kScalar, std::memory_order_relaxed);
+  g_table.store(&ScalarKernels(), std::memory_order_release);
+}
+
+}  // namespace fedadmm::simd

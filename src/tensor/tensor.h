@@ -10,9 +10,11 @@
 #define FEDADMM_TENSOR_TENSOR_H_
 
 #include <cstring>
+#include <initializer_list>
 #include <vector>
 
 #include "tensor/shape.h"
+#include "util/aligned.h"
 #include "util/rng.h"
 #include "util/status.h"
 
@@ -21,6 +23,11 @@ namespace fedadmm {
 /// \brief Dense row-major float tensor with value semantics.
 class Tensor {
  public:
+  /// Backing storage: a std::vector with its heap buffer promoted to
+  /// 64-byte alignment (see util/aligned.h) so kernels streaming tensor
+  /// data get the aligned fast case. Layout and values are unchanged.
+  using Buffer = AlignedVector<float>;
+
   /// An empty (0-element) tensor.
   Tensor() = default;
 
@@ -34,13 +41,22 @@ class Tensor {
       : shape_(std::move(shape)),
         data_(static_cast<size_t>(shape_.numel()), value) {}
 
-  /// Tensor adopting existing data. `data.size()` must equal `shape.numel()`.
-  Tensor(Shape shape, std::vector<float> data)
+  /// Tensor adopting an existing aligned buffer. `data.size()` must equal
+  /// `shape.numel()`.
+  Tensor(Shape shape, Buffer data)
       : shape_(std::move(shape)), data_(std::move(data)) {
     FEDADMM_CHECK_MSG(
         static_cast<int64_t>(data_.size()) == shape_.numel(),
         "Tensor: data size does not match shape");
   }
+
+  /// Tensor copying existing data (the bytes move into an aligned buffer).
+  Tensor(Shape shape, const std::vector<float>& data)
+      : Tensor(std::move(shape), Buffer(data.begin(), data.end())) {}
+
+  /// Tensor from a braced value list: `Tensor(Shape({2}), {1.0f, 2.0f})`.
+  Tensor(Shape shape, std::initializer_list<float> data)
+      : Tensor(std::move(shape), Buffer(data)) {}
 
   /// The shape.
   const Shape& shape() const { return shape_; }
@@ -50,8 +66,8 @@ class Tensor {
   float* data() { return data_.data(); }
   const float* data() const { return data_.data(); }
   /// Raw storage as a vector (e.g. for serialization).
-  const std::vector<float>& vec() const { return data_; }
-  std::vector<float>& vec() { return data_; }
+  const Buffer& vec() const { return data_; }
+  Buffer& vec() { return data_; }
 
   /// Flat element access with bounds check in debug (CHECK always, cheap).
   float& operator[](int64_t i) { return data_[static_cast<size_t>(i)]; }
@@ -118,7 +134,7 @@ class Tensor {
   }
 
   Shape shape_;
-  std::vector<float> data_;
+  Buffer data_;
 };
 
 }  // namespace fedadmm

@@ -5,15 +5,16 @@
 #include <cstring>
 #include <limits>
 
+#include "tensor/simd/simd.h"
 #include "util/status.h"
 
 namespace fedadmm::ops {
 namespace {
 
 // Micro-kernel blocking factor. The GEMMs here are small-to-medium
-// (hundreds to a few thousand per side), so a simple ikj loop order with
-// a fixed block over k is enough to stay cache-friendly without pulling in
-// a BLAS dependency.
+// (hundreds to a few thousand per side), so the ikj loop order with a
+// fixed block over k and the `simd` row micro-kernel is enough to stay
+// cache-friendly without pulling in a BLAS dependency.
 constexpr int64_t kBlock = 64;
 
 }  // namespace
@@ -26,16 +27,12 @@ void MatMul(const float* a, const float* b, float* c, int64_t m, int64_t k,
 
 void MatMulAccum(const float* a, const float* b, float* c, int64_t m,
                  int64_t k, int64_t n) {
+  const simd::KernelTable& kern = simd::ActiveKernels();
   for (int64_t k0 = 0; k0 < k; k0 += kBlock) {
     const int64_t k1 = std::min(k0 + kBlock, k);
     for (int64_t i = 0; i < m; ++i) {
-      float* ci = c + i * n;
-      for (int64_t p = k0; p < k1; ++p) {
-        const float aip = a[i * k + p];
-        if (aip == 0.0f) continue;
-        const float* bp = b + p * n;
-        for (int64_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
-      }
+      kern.gemm_axpy_row(a + i * k + k0, b + k0 * n, c + i * n, k1 - k0, n,
+                         n);
     }
   }
 }
@@ -49,29 +46,31 @@ void MatMulTransA(const float* a, const float* b, float* c, int64_t m,
 void MatMulTransAAccum(const float* a, const float* b, float* c, int64_t m,
                        int64_t k, int64_t n) {
   // C[i,j] += sum_p A[p,i] * B[p,j]; iterate p outer for streaming access.
+  // The exact-zero skip stays in the caller (the axpy kernel has no skip);
+  // it preserves signed zeros and non-finite B entries exactly as before.
+  const simd::KernelTable& kern = simd::ActiveKernels();
   for (int64_t p = 0; p < k; ++p) {
     const float* ap = a + p * m;
     const float* bp = b + p * n;
     for (int64_t i = 0; i < m; ++i) {
       const float api = ap[i];
       if (api == 0.0f) continue;
-      float* ci = c + i * n;
-      for (int64_t j = 0; j < n; ++j) ci[j] += api * bp[j];
+      kern.axpy(api, bp, c + i * n, static_cast<size_t>(n));
     }
   }
 }
 
 void MatMulTransB(const float* a, const float* b, float* c, int64_t m,
                   int64_t k, int64_t n) {
-  // C[i,j] = sum_p A[i,p] * B[j,p]; dot products over contiguous rows.
+  // C[i,j] = sum_p A[i,p] * B[j,p]; dot products over contiguous rows,
+  // accumulated in the canonical lane-striped double order (see simd.h).
+  const simd::KernelTable& kern = simd::ActiveKernels();
   for (int64_t i = 0; i < m; ++i) {
     const float* ai = a + i * k;
     float* ci = c + i * n;
     for (int64_t j = 0; j < n; ++j) {
-      const float* bj = b + j * k;
-      double acc = 0.0;
-      for (int64_t p = 0; p < k; ++p) acc += static_cast<double>(ai[p]) * bj[p];
-      ci[j] = static_cast<float>(acc);
+      ci[j] = static_cast<float>(
+          kern.dot(ai, b + j * k, static_cast<size_t>(k)));
     }
   }
 }

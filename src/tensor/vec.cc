@@ -4,9 +4,11 @@
 #include <chrono>
 #include <cmath>
 #include <cstring>
+#include <limits>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "tensor/simd/simd.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -49,12 +51,11 @@ void ForEachBlock(size_t n, ThreadPool* pool, const Body& body) {
 
 void Axpy(float alpha, std::span<const float> x, std::span<float> y) {
   FEDADMM_CHECK(x.size() == y.size());
-  const size_t n = x.size();
-  for (size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+  simd::ActiveKernels().axpy(alpha, x.data(), y.data(), x.size());
 }
 
 void Scale(float alpha, std::span<float> x) {
-  for (float& v : x) v *= alpha;
+  simd::ActiveKernels().scale(alpha, x.data(), x.size());
 }
 
 void Copy(std::span<const float> x, std::span<float> out) {
@@ -68,43 +69,31 @@ void Zero(std::span<float> x) {
 
 double Dot(std::span<const float> x, std::span<const float> y) {
   FEDADMM_CHECK(x.size() == y.size());
-  double acc = 0.0;
-  const size_t n = x.size();
-  for (size_t i = 0; i < n; ++i) acc += static_cast<double>(x[i]) * y[i];
-  return acc;
+  return simd::ActiveKernels().dot(x.data(), y.data(), x.size());
 }
 
 double SquaredL2Norm(std::span<const float> x) {
-  double acc = 0.0;
-  for (float v : x) acc += static_cast<double>(v) * v;
-  return acc;
+  return simd::ActiveKernels().squared_l2(x.data(), x.size());
 }
 
 double L2Norm(std::span<const float> x) { return std::sqrt(SquaredL2Norm(x)); }
 
 double SquaredDistance(std::span<const float> x, std::span<const float> y) {
   FEDADMM_CHECK(x.size() == y.size());
-  double acc = 0.0;
-  const size_t n = x.size();
-  for (size_t i = 0; i < n; ++i) {
-    const double d = static_cast<double>(x[i]) - y[i];
-    acc += d * d;
-  }
-  return acc;
+  return simd::ActiveKernels().squared_distance(x.data(), y.data(), x.size());
 }
 
 void AddScaled(std::span<const float> x, float alpha, std::span<const float> y,
                std::span<float> out) {
   FEDADMM_CHECK(x.size() == y.size() && x.size() == out.size());
-  const size_t n = x.size();
-  for (size_t i = 0; i < n; ++i) out[i] = x[i] + alpha * y[i];
+  simd::ActiveKernels().add_scaled(x.data(), alpha, y.data(), out.data(),
+                                   x.size());
 }
 
 void Sub(std::span<const float> x, std::span<const float> y,
          std::span<float> out) {
   FEDADMM_CHECK(x.size() == y.size() && x.size() == out.size());
-  const size_t n = x.size();
-  for (size_t i = 0; i < n; ++i) out[i] = x[i] - y[i];
+  simd::ActiveKernels().sub(x.data(), y.data(), out.data(), x.size());
 }
 
 void Mean(const std::vector<std::span<const float>>& vectors,
@@ -115,8 +104,12 @@ void Mean(const std::vector<std::span<const float>>& vectors,
 }
 
 float MaxAbs(std::span<const float> x) {
-  float m = 0.0f;
-  for (float v : x) m = std::max(m, std::fabs(v));
+  bool saw_nan = false;
+  const float m = simd::ActiveKernels().max_abs(x.data(), x.size(), &saw_nan);
+  // NaN propagates instead of being silently dropped by the max: a caller
+  // sizing a quantizer grid (or any bound) from a poisoned vector must see
+  // the poison, not a plausible finite magnitude.
+  if (saw_nan) return std::numeric_limits<float>::quiet_NaN();
   return m;
 }
 
@@ -126,10 +119,11 @@ void AxpyMany(float alpha, const std::vector<std::span<const float>>& xs,
   if (xs.empty()) return;
   obs::TraceScope scope("axpy_many", "vec", AxpyManyHist());
   scope.set_arg("vectors", static_cast<int64_t>(xs.size()));
+  const simd::KernelTable& k = simd::ActiveKernels();
   ForEachBlock(y.size(), pool, [&](size_t begin, size_t end) {
-    for (const auto& x : xs) {
-      for (size_t i = begin; i < end; ++i) y[i] += alpha * x[i];
-    }
+    float* yb = y.data() + begin;
+    const size_t len = end - begin;
+    for (const auto& x : xs) k.axpy(alpha, x.data() + begin, yb, len);
   });
 }
 
@@ -150,6 +144,7 @@ void AxpyManySharded(float alpha,
   if (xs.empty()) return;
   obs::TraceScope scope("axpy_many_sharded", "vec", AxpyManyShardedHist());
   scope.set_arg("vectors", static_cast<int64_t>(xs.size()));
+  const simd::KernelTable& k = simd::ActiveKernels();
 
   // Per-shard partial timings expose worker skew (`vec/axpy_shard_seconds
   // {shard=s}`). Purely additive wall measurement — the float math and
@@ -192,7 +187,7 @@ void AxpyManySharded(float alpha,
     float* partial = partials.data() + static_cast<size_t>(s) * n;
     for (const int xi : members[static_cast<size_t>(s)]) {
       const std::span<const float>& x = xs[static_cast<size_t>(xi)];
-      for (size_t i = begin; i < end; ++i) partial[i] += alpha * x[i];
+      k.axpy(alpha, x.data() + begin, partial + begin, end - begin);
     }
     if (timed) {
       shard_hist[static_cast<size_t>(s)]->Record(
@@ -215,7 +210,7 @@ void AxpyManySharded(float alpha,
     for (int s = 0; s < num_shards; ++s) {
       if (members[static_cast<size_t>(s)].empty()) continue;
       const float* partial = partials.data() + static_cast<size_t>(s) * n;
-      for (size_t i = begin; i < end; ++i) y[i] += partial[i];
+      k.add(partial + begin, y.data() + begin, end - begin);
     }
   });
 }
@@ -225,12 +220,13 @@ void BlockedMean(const std::vector<std::span<const float>>& xs,
   FEDADMM_CHECK_MSG(!xs.empty(), "vec::BlockedMean of zero vectors");
   for (const auto& x : xs) FEDADMM_CHECK(x.size() == out.size());
   const float inv = 1.0f / static_cast<float>(xs.size());
+  const simd::KernelTable& k = simd::ActiveKernels();
   ForEachBlock(out.size(), pool, [&](size_t begin, size_t end) {
-    std::memset(out.data() + begin, 0, (end - begin) * sizeof(float));
-    for (const auto& x : xs) {
-      for (size_t i = begin; i < end; ++i) out[i] += x[i];
-    }
-    for (size_t i = begin; i < end; ++i) out[i] *= inv;
+    const size_t len = end - begin;
+    float* ob = out.data() + begin;
+    std::memset(ob, 0, len * sizeof(float));
+    for (const auto& x : xs) k.add(x.data() + begin, ob, len);
+    k.scale(inv, ob, len);
   });
 }
 

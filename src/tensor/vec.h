@@ -7,6 +7,13 @@
 /// bookkeeping: axpy-style updates, norms, and distances.
 ///
 /// All functions CHECK that operand sizes match.
+///
+/// Every function dispatches through `simd::ActiveKernels()` (see
+/// tensor/simd/simd.h): an AVX2+FMA table when the host supports it, the
+/// scalar reference otherwise, bitwise identical either way. Reductions
+/// (`Dot`, `SquaredL2Norm`, `L2Norm`, `SquaredDistance`) use the canonical
+/// lane-striped accumulation order (`simd::kReduceLanes` interleaved double
+/// accumulators), not a single running sum.
 
 #ifndef FEDADMM_TENSOR_VEC_H_
 #define FEDADMM_TENSOR_VEC_H_
@@ -57,7 +64,9 @@ void Sub(std::span<const float> x, std::span<const float> y,
 void Mean(const std::vector<std::span<const float>>& vectors,
           std::span<float> out);
 
-/// Largest |x[i]|.
+/// Largest |x[i]| over the vector, or quiet NaN if any element is NaN.
+/// (A silent max would drop NaN — `max(m, NaN)` keeps `m` — and report a
+/// plausible finite magnitude for a poisoned vector.)
 float MaxAbs(std::span<const float> x);
 
 /// Fixed reduction block length (floats). Blocked kernels always cut the

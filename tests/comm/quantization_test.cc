@@ -104,5 +104,19 @@ TEST(UniformQuantTest, EncodingIsDeterministic) {
             codec.Encode(0, v, nullptr).bytes);
 }
 
+TEST(UniformQuantDeathTest, OutOfRangeBitsAbortBeforeComputingLevels) {
+  // The bits check must run before L = 2^bits - 1 is computed: bits = 32
+  // (or negative) would otherwise shift past the width of int — undefined
+  // behavior in a member initializer, unreachable by the ctor-body CHECK.
+  EXPECT_DEATH(UniformQuantCodec codec(0), "bits in \\[1, 16\\]");
+  EXPECT_DEATH(UniformQuantCodec codec(17), "bits in \\[1, 16\\]");
+  EXPECT_DEATH(UniformQuantCodec codec(32), "bits in \\[1, 16\\]");
+  EXPECT_DEATH(UniformQuantCodec codec(-1), "bits in \\[1, 16\\]");
+}
+
+TEST(UniformQuantDeathTest, NonPositiveChunkAborts) {
+  EXPECT_DEATH(UniformQuantCodec codec(8, 0), "chunk >= 1");
+}
+
 }  // namespace
 }  // namespace fedadmm

@@ -54,7 +54,8 @@ TEST(CrossEntropyTest, GradMatchesFiniteDifference) {
     SoftmaxCrossEntropyLoss l2;
     return l2.Forward(Tensor(logits.shape(), flat), labels);
   };
-  const auto numeric = testing::NumericGradient(f, logits.vec());
+  const auto numeric = testing::NumericGradient(
+      f, {logits.vec().begin(), logits.vec().end()});
   EXPECT_LT(testing::MaxGradientError(analytic.vec(), numeric), 0.02);
 }
 
@@ -114,7 +115,8 @@ TEST(MseTest, GradMatchesFiniteDifference) {
     MSELoss l2;
     return l2.Forward(Tensor(pred.shape(), flat), target);
   };
-  const auto numeric = testing::NumericGradient(f, pred.vec());
+  const auto numeric = testing::NumericGradient(
+      f, {pred.vec().begin(), pred.vec().end()});
   EXPECT_LT(testing::MaxGradientError(analytic.vec(), numeric), 0.02);
 }
 

@@ -55,7 +55,7 @@ TEST(ReLUTest, ForwardClampsNegatives) {
   ReLU relu;
   Tensor x(Shape({5}), {-2, -1, 0, 1, 2});
   Tensor y = relu.Forward(x);
-  EXPECT_EQ(y.vec(), (std::vector<float>{0, 0, 0, 1, 2}));
+  EXPECT_EQ(y.vec(), (Tensor::Buffer{0, 0, 0, 1, 2}));
 }
 
 TEST(ReLUTest, BackwardMasks) {
@@ -64,7 +64,7 @@ TEST(ReLUTest, BackwardMasks) {
   relu.Forward(x);
   Tensor g(Shape({4}), {10, 20, 30, 40});
   Tensor gx = relu.Backward(g);
-  EXPECT_EQ(gx.vec(), (std::vector<float>{0, 20, 0, 40}));
+  EXPECT_EQ(gx.vec(), (Tensor::Buffer{0, 20, 0, 40}));
 }
 
 TEST(ReLUTest, ZeroIsInactive) {

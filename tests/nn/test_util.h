@@ -7,6 +7,7 @@
 
 #include <cmath>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "nn/model.h"
@@ -33,7 +34,7 @@ inline std::vector<double> NumericGradient(
 
 /// Maximum relative error between analytic and numeric gradients, with an
 /// absolute floor to avoid division blow-ups near zero.
-inline double MaxGradientError(const std::vector<float>& analytic,
+inline double MaxGradientError(std::span<const float> analytic,
                                const std::vector<double>& numeric,
                                double floor = 1e-2) {
   double worst = 0.0;

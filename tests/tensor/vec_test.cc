@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 namespace fedadmm {
@@ -93,6 +94,21 @@ TEST(VecTest, MaxAbs) {
   EXPECT_FLOAT_EQ(vec::MaxAbs(x), 7.0f);
   std::vector<float> empty;
   EXPECT_FLOAT_EQ(vec::MaxAbs(empty), 0.0f);
+}
+
+TEST(VecTest, MaxAbsPropagatesNan) {
+  // Regression: `std::max(m, NaN)` keeps m, so a NaN element used to be
+  // silently dropped and MaxAbs reported a plausible finite magnitude.
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  for (size_t pos : {size_t{0}, size_t{5}, size_t{9}}) {
+    std::vector<float> x(10, 1.0f);
+    x[pos] = nan;
+    EXPECT_TRUE(std::isnan(vec::MaxAbs(x))) << "pos=" << pos;
+  }
+  // Infinity is a legitimate (if extreme) magnitude, not NaN.
+  std::vector<float> inf{1.0f, -std::numeric_limits<float>::infinity()};
+  EXPECT_TRUE(std::isinf(vec::MaxAbs(inf)));
+  EXPECT_FALSE(std::isnan(vec::MaxAbs(inf)));
 }
 
 TEST(VecTest, DotIsAccumulatedInDouble) {
