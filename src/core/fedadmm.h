@@ -137,6 +137,9 @@ class FedAdmm : public FederatedAlgorithm {
   /// The underlying client-state store (tests/diagnostics).
   const ClientStateStore& state_store() const { return *store_; }
 
+  /// Engine handle for prefetch hints and checkpoint passes.
+  ClientStateStore* mutable_state_store() override { return store_.get(); }
+
  private:
   /// Store slots: client primal iterate w_i and dual variable y_i.
   static constexpr int kSlotModel = 0;

@@ -15,6 +15,7 @@
 
 namespace fedadmm {
 
+class ClientStateStore;
 class ThreadPool;
 
 /// \brief Static facts an algorithm needs before the first round.
@@ -113,6 +114,27 @@ class FederatedAlgorithm {
   /// small-batch updates return InvalidArgument here so the run fails
   /// fast instead of silently diverging (or crashing mid-run).
   virtual Status ValidateForEventMode() const { return Status::OK(); }
+
+  /// The method's client-state store, when it has one — the engine's
+  /// handle for prefetch hints (`PrefetchClients` on the next cohort) and
+  /// checkpoint passes (`ForEachTouched` / restore). nullptr for stateless
+  /// methods.
+  virtual ClientStateStore* mutable_state_store() { return nullptr; }
+
+  /// Server-side scalars/vectors beyond θ and the state store that a
+  /// checkpoint must carry (FedPD's communication coin + counters,
+  /// SCAFFOLD's server control variate). Empty = nothing extra.
+  virtual std::string SerializeExtraState() const { return {}; }
+
+  /// Inverse of `SerializeExtraState`, called after Setup during restore.
+  virtual Status RestoreExtraState(const std::string& blob) {
+    if (!blob.empty()) {
+      return Status::InvalidArgument(
+          name() + ": unexpected extra checkpoint state (" +
+          std::to_string(blob.size()) + " bytes)");
+    }
+    return Status::OK();
+  }
 
  protected:
   /// Shard ids parallel to `updates`, for vec::AxpyManySharded — the one

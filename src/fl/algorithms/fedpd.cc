@@ -1,6 +1,7 @@
 #include "fl/algorithms/fedpd.h"
 
 #include "tensor/vec.h"
+#include "util/file_io.h"
 
 namespace fedadmm {
 
@@ -105,6 +106,32 @@ Status FedPd::ValidateForEventMode() const {
 
 int64_t FedPd::StateBytesResident() const {
   return store_ ? store_->bytes_resident() : 0;
+}
+
+std::string FedPd::SerializeExtraState() const {
+  // The coin stream decides *future* aggregation rounds: without it a
+  // restored run would re-seed and draw a different communication
+  // schedule than the uninterrupted one.
+  ByteWriter writer;
+  writer.String(coin_rng_.SerializeState());
+  writer.U32(static_cast<uint32_t>(comm_rounds_));
+  writer.U8(communicate_this_round_ ? 1 : 0);
+  return writer.Take();
+}
+
+Status FedPd::RestoreExtraState(const std::string& blob) {
+  ByteReader reader(blob);
+  FEDADMM_ASSIGN_OR_RETURN(std::string coin_state, reader.String());
+  FEDADMM_RETURN_IF_ERROR(coin_rng_.RestoreState(coin_state));
+  FEDADMM_ASSIGN_OR_RETURN(uint32_t comm_rounds, reader.U32());
+  comm_rounds_ = static_cast<int>(comm_rounds);
+  FEDADMM_ASSIGN_OR_RETURN(uint8_t communicate, reader.U8());
+  communicate_this_round_ = communicate != 0;
+  if (!reader.empty()) {
+    return Status::InvalidArgument(
+        "FedPd::RestoreExtraState: trailing bytes in checkpoint blob");
+  }
+  return Status::OK();
 }
 
 }  // namespace fedadmm

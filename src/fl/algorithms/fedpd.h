@@ -66,6 +66,15 @@ class FedPd : public FederatedAlgorithm {
   /// Number of aggregation (communication) rounds so far.
   int communication_rounds() const { return comm_rounds_; }
 
+  /// Engine handle for prefetch hints and checkpoint passes.
+  ClientStateStore* mutable_state_store() override { return store_.get(); }
+
+  /// Checkpoints the communication coin stream and round counters — the
+  /// server-side state a restored run needs to keep the same aggregation
+  /// schedule.
+  std::string SerializeExtraState() const override;
+  Status RestoreExtraState(const std::string& blob) override;
+
  private:
   /// Store slots: client primal iterate w_i and dual variable y_i.
   static constexpr int kSlotModel = 0;

@@ -1,6 +1,7 @@
 #include "fl/algorithms/scaffold.h"
 
 #include "tensor/vec.h"
+#include "util/file_io.h"
 
 namespace fedadmm {
 
@@ -96,6 +97,25 @@ void Scaffold::ServerUpdate(const std::vector<UpdateMessage>& updates,
 
 int64_t Scaffold::StateBytesResident() const {
   return store_ ? store_->bytes_resident() : 0;
+}
+
+std::string Scaffold::SerializeExtraState() const {
+  ByteWriter writer;
+  writer.Floats(server_c_);
+  return writer.Take();
+}
+
+Status Scaffold::RestoreExtraState(const std::string& blob) {
+  ByteReader reader(blob);
+  FEDADMM_ASSIGN_OR_RETURN(std::vector<float> server_c, reader.Floats());
+  if (static_cast<int64_t>(server_c.size()) != dim_ || !reader.empty()) {
+    return Status::InvalidArgument(
+        "Scaffold::RestoreExtraState: server control blob does not match "
+        "dim " +
+        std::to_string(dim_));
+  }
+  server_c_ = std::move(server_c);
+  return Status::OK();
 }
 
 }  // namespace fedadmm

@@ -61,6 +61,13 @@ class Scaffold : public FederatedAlgorithm {
     return store_->View(i, kSlotControl);
   }
 
+  /// Engine handle for prefetch hints and checkpoint passes.
+  ClientStateStore* mutable_state_store() override { return store_.get(); }
+
+  /// Checkpoints the server control variate c.
+  std::string SerializeExtraState() const override;
+  Status RestoreExtraState(const std::string& blob) override;
+
  private:
   /// Store slot: the client control variate c_i.
   static constexpr int kSlotControl = 0;

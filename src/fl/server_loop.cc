@@ -8,7 +8,10 @@
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "state/checkpoint.h"
 #include "state/client_state_store.h"
+#include "state/slab_log.h"
+#include "util/file_io.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
@@ -79,6 +82,72 @@ EngineMetrics& Metrics() {
   return *metrics;
 }
 
+// Checkpoint engine-blob mode tags: a sync blob must never restore an
+// event-mode run (and vice versa) — the layouts differ after the common
+// head.
+constexpr uint8_t kCheckpointSyncTag = 1;
+constexpr uint8_t kCheckpointEventTag = 2;
+
+void WriteRoundRecord(const RoundRecord& r, ByteWriter* w) {
+  w->U32(static_cast<uint32_t>(r.round));
+  w->U32(static_cast<uint32_t>(r.num_selected));
+  w->F64(r.train_loss);
+  w->F64(r.test_accuracy);
+  w->F64(r.test_loss);
+  w->I64(r.upload_bytes);
+  w->I64(r.download_bytes);
+  w->I64(r.upload_bytes_raw);
+  w->I64(r.download_bytes_raw);
+  w->F64(r.wall_seconds);
+  w->F64(r.sim_seconds);
+  w->U32(static_cast<uint32_t>(r.num_dropped));
+  w->U32(static_cast<uint32_t>(r.num_admitted_partial));
+  w->F64(r.staleness_mean);
+  w->U32(static_cast<uint32_t>(r.staleness_max));
+  w->I64(r.state_bytes_resident);
+}
+
+Result<RoundRecord> ReadRoundRecord(ByteReader* reader) {
+  RoundRecord r;
+  FEDADMM_ASSIGN_OR_RETURN(uint32_t round, reader->U32());
+  r.round = static_cast<int>(round);
+  FEDADMM_ASSIGN_OR_RETURN(uint32_t num_selected, reader->U32());
+  r.num_selected = static_cast<int>(num_selected);
+  FEDADMM_ASSIGN_OR_RETURN(r.train_loss, reader->F64());
+  FEDADMM_ASSIGN_OR_RETURN(r.test_accuracy, reader->F64());
+  FEDADMM_ASSIGN_OR_RETURN(r.test_loss, reader->F64());
+  FEDADMM_ASSIGN_OR_RETURN(r.upload_bytes, reader->I64());
+  FEDADMM_ASSIGN_OR_RETURN(r.download_bytes, reader->I64());
+  FEDADMM_ASSIGN_OR_RETURN(r.upload_bytes_raw, reader->I64());
+  FEDADMM_ASSIGN_OR_RETURN(r.download_bytes_raw, reader->I64());
+  FEDADMM_ASSIGN_OR_RETURN(r.wall_seconds, reader->F64());
+  FEDADMM_ASSIGN_OR_RETURN(r.sim_seconds, reader->F64());
+  FEDADMM_ASSIGN_OR_RETURN(uint32_t num_dropped, reader->U32());
+  r.num_dropped = static_cast<int>(num_dropped);
+  FEDADMM_ASSIGN_OR_RETURN(uint32_t num_partial, reader->U32());
+  r.num_admitted_partial = static_cast<int>(num_partial);
+  FEDADMM_ASSIGN_OR_RETURN(r.staleness_mean, reader->F64());
+  FEDADMM_ASSIGN_OR_RETURN(uint32_t staleness_max, reader->U32());
+  r.staleness_max = static_cast<int>(staleness_max);
+  FEDADMM_ASSIGN_OR_RETURN(r.state_bytes_resident, reader->I64());
+  return {std::move(r)};
+}
+
+void WriteHistoryBlob(const History& history, ByteWriter* w) {
+  w->U32(static_cast<uint32_t>(history.size()));
+  for (const RoundRecord& r : history.records()) WriteRoundRecord(r, w);
+}
+
+Result<History> ReadHistoryBlob(ByteReader* reader) {
+  History history;
+  FEDADMM_ASSIGN_OR_RETURN(uint32_t count, reader->U32());
+  for (uint32_t i = 0; i < count; ++i) {
+    FEDADMM_ASSIGN_OR_RETURN(RoundRecord record, ReadRoundRecord(reader));
+    history.Add(record);
+  }
+  return {std::move(history)};
+}
+
 }  // namespace
 
 ServerLoop::ServerLoop(FederatedProblem* problem,
@@ -95,6 +164,8 @@ ServerLoop::ServerLoop(FederatedProblem* problem,
       config_(config),
       system_model_(system_model),
       observer_(observer),
+      uplink_codec_(uplink_codec),
+      downlink_codec_(downlink_codec),
       master_(config.seed),
       selection_rng_(master_.Fork(kSelectionTag)),
       init_rng_(master_.Fork(kInitTag)),
@@ -199,6 +270,183 @@ void ServerLoop::WriteRoundTrace(const RoundRecord& record) {
   }
 }
 
+Result<std::unique_ptr<SlabLog>> ServerLoop::OpenCheckpointLog() {
+  if (config_.checkpoint_path.empty()) {
+    return {std::unique_ptr<SlabLog>()};
+  }
+  // Never truncate: groups stack, and recovery (which already ran by the
+  // time this opens in restore mode) picks the newest committed one. A
+  // torn tail is cut by Open so appends resume after the last intact
+  // record.
+  return SlabLog::Open(config_.checkpoint_path, /*truncate=*/false);
+}
+
+Status ServerLoop::CheckpointSync(SlabLog* log, const History& history,
+                                  const std::vector<int>& pending_selected,
+                                  bool have_pending) {
+  ByteWriter writer;
+  writer.U8(kCheckpointSyncTag);
+  writer.Floats(theta_);
+  writer.String(selection_rng_.SerializeState());
+  writer.String(algorithm_->SerializeExtraState());
+  WriteHistoryBlob(history, &writer);
+  // The next round's cohort is drawn *before* this checkpoint (the
+  // prefetch restructure), so the serialized RNG has already moved past
+  // it; the cohort itself must ride along or the restored run would skip
+  // it.
+  writer.U8(have_pending ? 1 : 0);
+  writer.U32(static_cast<uint32_t>(pending_selected.size()));
+  for (const int client : pending_selected) {
+    writer.U32(static_cast<uint32_t>(client));
+  }
+  return AppendSimulationCheckpoint(log, history.size(), writer.Take(),
+                                    algorithm_->mutable_state_store());
+}
+
+Result<bool> ServerLoop::TryRestoreSync(History* history,
+                                        std::vector<int>* pending_selected,
+                                        bool* have_pending) {
+  auto loaded = LoadLatestSimulationCheckpoint(config_.checkpoint_path);
+  if (!loaded.ok()) {
+    if (loaded.status().IsNotFound() || loaded.status().IsIoError()) {
+      // Missing file, no committed group, or an unreadable one: start
+      // fresh — the crash-before-first-checkpoint semantic.
+      return {false};
+    }
+    return loaded.status();
+  }
+  const SimulationCheckpoint& checkpoint = loaded.ValueOrDie();
+  ByteReader reader(checkpoint.engine_blob);
+  FEDADMM_ASSIGN_OR_RETURN(uint8_t tag, reader.U8());
+  if (tag != kCheckpointSyncTag) {
+    return Status::InvalidArgument(
+        "Simulation: checkpoint in '" + config_.checkpoint_path +
+        "' was written by a different execution mode");
+  }
+  FEDADMM_ASSIGN_OR_RETURN(std::vector<float> theta, reader.Floats());
+  if (theta.size() != theta_.size()) {
+    return Status::InvalidArgument(
+        "Simulation: checkpoint θ dim " + std::to_string(theta.size()) +
+        " != problem dim " + std::to_string(theta_.size()));
+  }
+  theta_ = std::move(theta);
+  FEDADMM_ASSIGN_OR_RETURN(std::string rng_state, reader.String());
+  FEDADMM_RETURN_IF_ERROR(selection_rng_.RestoreState(rng_state));
+  FEDADMM_ASSIGN_OR_RETURN(std::string extra, reader.String());
+  FEDADMM_RETURN_IF_ERROR(algorithm_->RestoreExtraState(extra));
+  FEDADMM_ASSIGN_OR_RETURN(*history, ReadHistoryBlob(&reader));
+  FEDADMM_ASSIGN_OR_RETURN(uint8_t have, reader.U8());
+  *have_pending = have != 0;
+  FEDADMM_ASSIGN_OR_RETURN(uint32_t count, reader.U32());
+  pending_selected->clear();
+  pending_selected->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    FEDADMM_ASSIGN_OR_RETURN(uint32_t client, reader.U32());
+    pending_selected->push_back(static_cast<int>(client));
+  }
+  if (ClientStateStore* store = algorithm_->mutable_state_store()) {
+    FEDADMM_RETURN_IF_ERROR(RestoreStoreContents(checkpoint, store));
+  }
+  return {true};
+}
+
+Status ServerLoop::CheckpointEventDriven(SlabLog* log, const History& history,
+                                         const EventLoopState& state) {
+  ByteWriter writer;
+  writer.U8(kCheckpointEventTag);
+  writer.Floats(theta_);
+  writer.String(selection_rng_.SerializeState());
+  writer.String(algorithm_->SerializeExtraState());
+  WriteHistoryBlob(history, &writer);
+  writer.I64(sequence_);
+  writer.I64(pending_download_bytes_);
+  writer.I64(pending_download_bytes_raw_);
+  writer.U32(static_cast<uint32_t>(*state.wave_counter));
+  writer.U32(static_cast<uint32_t>(*state.server_version));
+  writer.U32(static_cast<uint32_t>(*state.concurrency));
+  writer.U32(static_cast<uint32_t>(*state.pending_dropped));
+  writer.U32(static_cast<uint32_t>(*state.pending_partial));
+  writer.U32(static_cast<uint32_t>(*state.drops_since_aggregate));
+  writer.U32(static_cast<uint32_t>(state.buffer->size()));
+  for (const ClientCompletionEvent& event : *state.buffer) {
+    SerializeClientCompletionEvent(event, &writer);
+  }
+  writer.U32(static_cast<uint32_t>(state.queue->size()));
+  for (int s = 0; s < state.queue->num_shards(); ++s) {
+    for (const ClientCompletionEvent& event : state.queue->shard(s).events()) {
+      SerializeClientCompletionEvent(event, &writer);
+    }
+  }
+  return AppendSimulationCheckpoint(log, history.size(), writer.Take(),
+                                    algorithm_->mutable_state_store());
+}
+
+Result<bool> ServerLoop::TryRestoreEventDriven(History* history,
+                                               const EventLoopState& state) {
+  auto loaded = LoadLatestSimulationCheckpoint(config_.checkpoint_path);
+  if (!loaded.ok()) {
+    if (loaded.status().IsNotFound() || loaded.status().IsIoError()) {
+      return {false};
+    }
+    return loaded.status();
+  }
+  const SimulationCheckpoint& checkpoint = loaded.ValueOrDie();
+  ByteReader reader(checkpoint.engine_blob);
+  FEDADMM_ASSIGN_OR_RETURN(uint8_t tag, reader.U8());
+  if (tag != kCheckpointEventTag) {
+    return Status::InvalidArgument(
+        "Simulation: checkpoint in '" + config_.checkpoint_path +
+        "' was written by a different execution mode");
+  }
+  FEDADMM_ASSIGN_OR_RETURN(std::vector<float> theta, reader.Floats());
+  if (theta.size() != theta_.size()) {
+    return Status::InvalidArgument(
+        "Simulation: checkpoint θ dim " + std::to_string(theta.size()) +
+        " != problem dim " + std::to_string(theta_.size()));
+  }
+  theta_ = std::move(theta);
+  FEDADMM_ASSIGN_OR_RETURN(std::string rng_state, reader.String());
+  FEDADMM_RETURN_IF_ERROR(selection_rng_.RestoreState(rng_state));
+  FEDADMM_ASSIGN_OR_RETURN(std::string extra, reader.String());
+  FEDADMM_RETURN_IF_ERROR(algorithm_->RestoreExtraState(extra));
+  FEDADMM_ASSIGN_OR_RETURN(*history, ReadHistoryBlob(&reader));
+  FEDADMM_ASSIGN_OR_RETURN(sequence_, reader.I64());
+  FEDADMM_ASSIGN_OR_RETURN(pending_download_bytes_, reader.I64());
+  FEDADMM_ASSIGN_OR_RETURN(pending_download_bytes_raw_, reader.I64());
+  FEDADMM_ASSIGN_OR_RETURN(uint32_t wave_counter, reader.U32());
+  *state.wave_counter = static_cast<int>(wave_counter);
+  FEDADMM_ASSIGN_OR_RETURN(uint32_t server_version, reader.U32());
+  *state.server_version = static_cast<int>(server_version);
+  FEDADMM_ASSIGN_OR_RETURN(uint32_t concurrency, reader.U32());
+  *state.concurrency = static_cast<int>(concurrency);
+  FEDADMM_ASSIGN_OR_RETURN(uint32_t pending_dropped, reader.U32());
+  *state.pending_dropped = static_cast<int>(pending_dropped);
+  FEDADMM_ASSIGN_OR_RETURN(uint32_t pending_partial, reader.U32());
+  *state.pending_partial = static_cast<int>(pending_partial);
+  FEDADMM_ASSIGN_OR_RETURN(uint32_t drops, reader.U32());
+  *state.drops_since_aggregate = static_cast<int>(drops);
+  FEDADMM_ASSIGN_OR_RETURN(uint32_t buffered, reader.U32());
+  state.buffer->clear();
+  for (uint32_t i = 0; i < buffered; ++i) {
+    FEDADMM_ASSIGN_OR_RETURN(ClientCompletionEvent event,
+                             DeserializeClientCompletionEvent(&reader));
+    state.buffer->push_back(std::move(event));
+  }
+  FEDADMM_ASSIGN_OR_RETURN(uint32_t queued, reader.U32());
+  for (uint32_t i = 0; i < queued; ++i) {
+    FEDADMM_ASSIGN_OR_RETURN(ClientCompletionEvent event,
+                             DeserializeClientCompletionEvent(&reader));
+    // in_flight_ is derivable: exactly the queued (not yet completed)
+    // clients occupy slots.
+    in_flight_[static_cast<size_t>(event.client_id)] = 1;
+    state.queue->Push(std::move(event));
+  }
+  if (ClientStateStore* store = algorithm_->mutable_state_store()) {
+    FEDADMM_RETURN_IF_ERROR(RestoreStoreContents(checkpoint, store));
+  }
+  return {true};
+}
+
 Result<History> ServerLoop::Run() {
   if (config_.max_rounds <= 0) {
     return Status::InvalidArgument("Simulation: max_rounds must be > 0");
@@ -222,6 +470,21 @@ Result<History> ServerLoop::Run() {
   if (!effective_store.empty()) {
     auto probe = MakeClientStateStore(effective_store);
     if (!probe.ok()) return probe.status();
+  }
+  if (!config_.checkpoint_path.empty()) {
+    if (config_.checkpoint_every < 1) {
+      return Status::InvalidArgument(
+          "Simulation: checkpoint_every must be >= 1");
+    }
+    // Codec state (error-feedback residuals, codec RNG forks) is not part
+    // of the checkpoint blob; restoring around it would silently change
+    // the trajectory. Fail fast instead.
+    if (uplink_codec_ != nullptr || downlink_codec_ != nullptr) {
+      return Status::InvalidArgument(
+          "Simulation: checkpoint_path does not cover codec state "
+          "(error-feedback residuals); detach the uplink/downlink codecs "
+          "or disable checkpointing");
+    }
   }
   if (!config_.round_trace_path.empty()) {
     FEDADMM_RETURN_IF_ERROR(round_trace_.Open(
@@ -252,12 +515,34 @@ Result<History> ServerLoop::RunSync() {
 
   History history;
   VirtualClock clock;
-  for (int round = 0; round < config_.max_rounds; ++round) {
+  // The next round's cohort, drawn one round ahead (between dispatch and
+  // aggregate) so the state store can prefetch its cold slabs while the
+  // server aggregates/evaluates. The selection stream still sees exactly
+  // the call sequence Select(0), Select(1), ... — trajectories stay
+  // bitwise identical to the lockstep draw.
+  std::vector<int> selected;
+  bool have_selected = false;
+  FEDADMM_ASSIGN_OR_RETURN(std::unique_ptr<SlabLog> checkpoint_log,
+                           OpenCheckpointLog());
+  if (checkpoint_log && config_.restore_from_checkpoint) {
+    FEDADMM_ASSIGN_OR_RETURN(
+        const bool restored,
+        TryRestoreSync(&history, &selected, &have_selected));
+    if (restored && system_model_ && !history.empty()) {
+      // The clock is derivable: sim_seconds of the last record is exactly
+      // where the virtual clock stood.
+      clock.Advance(history.records().back().sim_seconds);
+    }
+  }
+  for (int round = history.size(); round < config_.max_rounds; ++round) {
     Stopwatch watch;
     RoundContext ctx;
     ctx.round = round;
     ctx.num_shards = config_.num_shards;
-    {
+    if (have_selected) {
+      ctx.selected = std::move(selected);
+      have_selected = false;
+    } else {
       obs::TraceScope scope("select", "engine", Metrics().phase_select);
       scope.set_arg("round", round);
       ctx.selected = selector_->Select(round, &selection_rng_);
@@ -283,6 +568,19 @@ Result<History> ServerLoop::RunSync() {
     // judgment so stateful codecs only see admitted uploads.
     pipeline_.PredictUplinkBytes(&ctx.updates);
     dispatch_scope.Stop();
+
+    // Draw the next cohort now and hint the store: an out-of-core backend
+    // faults those slabs on the executor pool (idle until the next wave)
+    // while the serial aggregate/finalize phases below run.
+    if (round + 1 < config_.max_rounds) {
+      obs::TraceScope scope("select", "engine", Metrics().phase_select);
+      scope.set_arg("round", round + 1);
+      selected = selector_->Select(round + 1, &selection_rng_);
+      have_selected = true;
+      if (ClientStateStore* store = algorithm_->mutable_state_store()) {
+        store->PrefetchClients(selected, executor_.pool());
+      }
+    }
 
     obs::TraceScope aggregate_scope("aggregate", "engine",
                                     Metrics().phase_aggregate);
@@ -362,7 +660,17 @@ Result<History> ServerLoop::RunSync() {
         ctx.updates.empty() ? std::numeric_limits<double>::quiet_NaN() : 0.0;
     record.staleness_max = 0;
 
-    if (FinalizeRecord(std::move(record), &watch, &history)) break;
+    // Every exit path leaves a committed group behind: the cadence, the
+    // final round, and the early accuracy stop all checkpoint before the
+    // loop moves on.
+    const bool stop = FinalizeRecord(std::move(record), &watch, &history);
+    if (checkpoint_log &&
+        (stop || round + 1 == config_.max_rounds ||
+         history.size() % config_.checkpoint_every == 0)) {
+      FEDADMM_RETURN_IF_ERROR(CheckpointSync(checkpoint_log.get(), history,
+                                             selected, have_selected));
+    }
+    if (stop) break;
   }
   return history;
 }
@@ -426,14 +734,38 @@ Result<History> ServerLoop::RunEventDriven() {
   ShardedEventQueue queue(config_.num_shards);
   int wave_counter = 0;
   int server_version = 0;
+  int concurrency = 0;
+  std::vector<ClientCompletionEvent> buffer;
+  int pending_dropped = 0;
+  int pending_partial = 0;
+  int drops_since_aggregate = 0;
+  const EventLoopState state{&queue,
+                             &buffer,
+                             &wave_counter,
+                             &server_version,
+                             &concurrency,
+                             &pending_dropped,
+                             &pending_partial,
+                             &drops_since_aggregate};
 
-  // The initial wave fixes the engine's concurrency: one in-flight client
-  // per slot, each freed slot refilled on completion.
-  const std::vector<int> initial =
-      selector_->Select(wave_counter, &selection_rng_);
-  FEDADMM_CHECK_MSG(!initial.empty(), "selector returned empty set");
-  const int concurrency = static_cast<int>(initial.size());
-  DispatchWave(initial, wave_counter++, /*now=*/0.0, server_version, &queue);
+  FEDADMM_ASSIGN_OR_RETURN(std::unique_ptr<SlabLog> checkpoint_log,
+                           OpenCheckpointLog());
+  bool restored = false;
+  if (checkpoint_log && config_.restore_from_checkpoint) {
+    FEDADMM_ASSIGN_OR_RETURN(restored,
+                             TryRestoreEventDriven(&history, state));
+  }
+
+  if (!restored) {
+    // The initial wave fixes the engine's concurrency: one in-flight
+    // client per slot, each freed slot refilled on completion.
+    const std::vector<int> initial =
+        selector_->Select(wave_counter, &selection_rng_);
+    FEDADMM_CHECK_MSG(!initial.empty(), "selector returned empty set");
+    concurrency = static_cast<int>(initial.size());
+    DispatchWave(initial, wave_counter++, /*now=*/0.0, server_version,
+                 &queue);
+  }
 
   const int buffer_target =
       config_.mode == ExecutionMode::kAsync
@@ -442,10 +774,7 @@ Result<History> ServerLoop::RunEventDriven() {
                  ? std::min(config_.buffer_size, concurrency)
                  : std::max(1, concurrency / 2));
 
-  std::vector<ClientCompletionEvent> buffer;
-  int pending_dropped = 0;
-  int pending_partial = 0;
-  int drops_since_aggregate = 0;
+  int records_at_last_checkpoint = history.size();
   Stopwatch watch;
 
   // One iteration per event; one RoundRecord per aggregation (or per
@@ -453,6 +782,14 @@ Result<History> ServerLoop::RunEventDriven() {
   // simultaneously in flight and none can be replaced, which the
   // replacement fallback prevents; the guard keeps the loop total anyway.
   while (history.size() < config_.max_rounds && !queue.empty()) {
+    // The loop top is the quiescent point: no event half-processed, the
+    // queue and buffer complete. Checkpoint here on the cadence.
+    if (checkpoint_log && history.size() > records_at_last_checkpoint &&
+        history.size() % config_.checkpoint_every == 0) {
+      FEDADMM_RETURN_IF_ERROR(
+          CheckpointEventDriven(checkpoint_log.get(), history, state));
+      records_at_last_checkpoint = history.size();
+    }
     ClientCompletionEvent event = queue.Pop();
     const double now = event.time;
     in_flight_[static_cast<size_t>(event.client_id)] = 0;
@@ -560,6 +897,12 @@ Result<History> ServerLoop::RunEventDriven() {
       DispatchWave({replacement}, wave_counter, now, server_version, &queue);
     }
     ++wave_counter;
+  }
+  // Final group off the cadence: max_rounds, target accuracy, and a
+  // starved queue all land here, so a finished run restores as finished.
+  if (checkpoint_log && history.size() > records_at_last_checkpoint) {
+    FEDADMM_RETURN_IF_ERROR(
+        CheckpointEventDriven(checkpoint_log.get(), history, state));
   }
   return history;
 }

@@ -41,6 +41,7 @@
 #ifndef FEDADMM_FL_SERVER_LOOP_H_
 #define FEDADMM_FL_SERVER_LOOP_H_
 
+#include <memory>
 #include <vector>
 
 #include "fl/client_executor.h"
@@ -52,6 +53,8 @@
 #include "util/stopwatch.h"
 
 namespace fedadmm {
+
+class SlabLog;
 
 /// \brief Executes one federated training session for `Simulation`.
 ///
@@ -108,12 +111,55 @@ class ServerLoop {
   /// client id. Returns -1 when every client is busy.
   int PickReplacement(int wave);
 
+  /// The event loop's checkpointable locals, borrowed by the (de)serialize
+  /// helpers below (the loop owns them; the helpers read or overwrite).
+  struct EventLoopState {
+    ShardedEventQueue* queue = nullptr;
+    std::vector<ClientCompletionEvent>* buffer = nullptr;
+    int* wave_counter = nullptr;
+    int* server_version = nullptr;
+    int* concurrency = nullptr;
+    int* pending_dropped = nullptr;
+    int* pending_partial = nullptr;
+    int* drops_since_aggregate = nullptr;
+  };
+
+  /// Opens (or resumes) the checkpoint log when `checkpoint_path` is set;
+  /// null otherwise. Never truncates an existing log — groups stack.
+  Result<std::unique_ptr<SlabLog>> OpenCheckpointLog();
+
+  /// Appends one committed sync-mode checkpoint group: θ, selection RNG,
+  /// algorithm extras, `history`, the pre-drawn next cohort, and every
+  /// touched store slab.
+  Status CheckpointSync(SlabLog* log, const History& history,
+                        const std::vector<int>& pending_selected,
+                        bool have_pending);
+
+  /// Restores sync-mode state from the newest committed group. Returns
+  /// false (untouched outputs) when no committed group exists — the fresh
+  /// start; errors only on a malformed committed group.
+  Result<bool> TryRestoreSync(History* history,
+                              std::vector<int>* pending_selected,
+                              bool* have_pending);
+
+  /// Event-mode twins: the blob additionally carries the dispatch
+  /// sequence, pending download billing, wave/version counters, the
+  /// aggregation buffer, and the full event queue.
+  Status CheckpointEventDriven(SlabLog* log, const History& history,
+                               const EventLoopState& state);
+  Result<bool> TryRestoreEventDriven(History* history,
+                                     const EventLoopState& state);
+
   FederatedProblem* problem_;
   FederatedAlgorithm* algorithm_;
   ClientSelector* selector_;
   const SimulationConfig& config_;
   const SystemModel* system_model_;
   const RoundObserver* observer_;
+  /// Kept only for the checkpoint pre-flight: codec state (error-feedback
+  /// residuals) is not serialized, so checkpointing rejects codec runs.
+  UpdateCodec* uplink_codec_;
+  UpdateCodec* downlink_codec_;
 
   Rng master_;
   Rng selection_rng_;

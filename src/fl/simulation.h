@@ -99,6 +99,22 @@ struct SimulationConfig {
   /// to float-summation regrouping (see bench_shard_scale). An explicit
   /// `sharded:` state_store spec overrides this knob's store partition.
   int num_shards = 1;
+  /// When non-empty, append crash-safe checkpoints of the whole simulation
+  /// (θ, RNG streams, history, per-client state, and — in event modes —
+  /// the in-flight event queue) to this slab-log file (state/checkpoint.h).
+  /// Each checkpoint is a meta..commit record group; a SIGKILL anywhere
+  /// replays from the last *committed* group, bit-identically to the
+  /// uninterrupted run. Incompatible with uplink/downlink codecs (their
+  /// error-feedback residuals are not serialized — the run fails fast).
+  std::string checkpoint_path;
+  /// Checkpoint cadence: append a group every k-th record (>= 1). The
+  /// final record is always checkpointed so a finished run restores as
+  /// finished.
+  int checkpoint_every = 1;
+  /// Resume from the newest committed group in `checkpoint_path`. A
+  /// missing file or a file without one committed group starts fresh
+  /// (round 0) — the crash-before-first-checkpoint semantic.
+  bool restore_from_checkpoint = false;
   /// When non-empty, append one JSON object per RoundRecord to this file
   /// (JSONL): the obs round trace. Purely additive — the training
   /// trajectory is bitwise identical with or without it.

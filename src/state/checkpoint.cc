@@ -1,0 +1,118 @@
+#include "state/checkpoint.h"
+
+#include <cstring>
+#include <utility>
+
+namespace fedadmm {
+
+Status AppendSimulationCheckpoint(SlabLog* log, int64_t round,
+                                  const std::string& engine_blob,
+                                  const ClientStateStore* store) {
+  FEDADMM_CHECK_MSG(log != nullptr, "AppendSimulationCheckpoint: null log");
+  const std::span<const uint8_t> meta_bytes{
+      reinterpret_cast<const uint8_t*>(engine_blob.data()),
+      engine_blob.size()};
+  FEDADMM_RETURN_IF_ERROR(
+      log->Append(SlabLog::RecordType::kMeta, 0, 0, round, meta_bytes)
+          .status());
+  Status slab_status = Status::OK();
+  if (store != nullptr) {
+    store->ForEachTouched([log, &slab_status](int client, int slot,
+                                              std::span<const float> value) {
+      if (!slab_status.ok()) return;
+      slab_status = log->AppendFloats(SlabLog::RecordType::kSlab, client,
+                                      slot, value)
+                        .status();
+    });
+  }
+  FEDADMM_RETURN_IF_ERROR(slab_status);
+  FEDADMM_RETURN_IF_ERROR(
+      log->Append(SlabLog::RecordType::kCommit, 0, 0, round, {}).status());
+  return log->Sync();
+}
+
+Result<SimulationCheckpoint> LoadLatestSimulationCheckpoint(
+    const std::string& path) {
+  FEDADMM_ASSIGN_OR_RETURN(std::unique_ptr<SlabLog> log,
+                           SlabLog::Open(path, /*truncate=*/false));
+  SimulationCheckpoint latest;
+  bool have_latest = false;
+  SimulationCheckpoint pending;
+  bool in_group = false;
+  bool group_ok = true;
+  FEDADMM_RETURN_IF_ERROR(
+      log->Scan([&](const SlabLog::Record& record) {
+           switch (record.type) {
+             case SlabLog::RecordType::kMeta:
+               pending = SimulationCheckpoint();
+               pending.round = record.value;
+               pending.engine_blob = record.payload;
+               in_group = true;
+               group_ok = true;
+               break;
+             case SlabLog::RecordType::kSlab: {
+               if (!in_group) break;
+               if (record.payload.size() % sizeof(float) != 0) {
+                 group_ok = false;
+                 break;
+               }
+               SimulationCheckpoint::Slab slab;
+               slab.client = record.client;
+               slab.slot = record.slot;
+               slab.value.resize(record.payload.size() / sizeof(float));
+               std::memcpy(slab.value.data(), record.payload.data(),
+                           record.payload.size());
+               pending.slabs.push_back(std::move(slab));
+               break;
+             }
+             case SlabLog::RecordType::kCommit:
+               if (in_group && group_ok && record.value == pending.round) {
+                 latest = std::move(pending);
+                 have_latest = true;
+               }
+               in_group = false;
+               break;
+           }
+         })
+          .status());
+  if (!have_latest) {
+    return Status::NotFound(
+        "LoadLatestSimulationCheckpoint: no committed checkpoint group in '" +
+        path + "'");
+  }
+  return {std::move(latest)};
+}
+
+Status RestoreStoreContents(const SimulationCheckpoint& checkpoint,
+                            ClientStateStore* store) {
+  FEDADMM_CHECK_MSG(store != nullptr, "RestoreStoreContents: null store");
+  int previous_client = -1;
+  for (const SimulationCheckpoint::Slab& slab : checkpoint.slabs) {
+    if (slab.client < 0 || slab.client >= store->num_clients() ||
+        slab.slot < 0 || slab.slot >= store->num_slots()) {
+      return Status::InvalidArgument(
+          "RestoreStoreContents: slab (client " + std::to_string(slab.client) +
+          ", slot " + std::to_string(slab.slot) +
+          ") outside the configured geometry");
+    }
+    if (static_cast<int64_t>(slab.value.size()) !=
+        store->slot_dim(slab.slot)) {
+      return Status::InvalidArgument(
+          "RestoreStoreContents: slab (client " + std::to_string(slab.client) +
+          ", slot " + std::to_string(slab.slot) + ") has dim " +
+          std::to_string(slab.value.size()) + ", store wants " +
+          std::to_string(store->slot_dim(slab.slot)));
+    }
+    if (previous_client >= 0 && slab.client != previous_client) {
+      store->Release(previous_client);
+    }
+    std::span<float> view = store->MutableView(slab.client, slab.slot);
+    std::memcpy(view.data(), slab.value.data(),
+                slab.value.size() * sizeof(float));
+    previous_client = slab.client;
+  }
+  if (previous_client >= 0) store->Release(previous_client);
+  return Status::OK();
+}
+
+}  // namespace fedadmm

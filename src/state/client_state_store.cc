@@ -6,12 +6,87 @@
 #include "state/lazy_store.h"
 #include "state/quantized_store.h"
 #include "state/sharded_store.h"
+#include "state/tiered_store.h"
 
 namespace fedadmm {
 namespace {
 
 constexpr char kQuantizedPrefix[] = "quantized:";
 constexpr char kShardedPrefix[] = "sharded:";
+constexpr char kTieredPrefix[] = "tiered:";
+
+// The one grammar string every factory error quotes, so a bad spec always
+// tells the caller both what it said and what would have parsed.
+constexpr char kSpecGrammar[] =
+    "dense | lazy | quantized:<bits 1..16|32> | "
+    "tiered:<capacity_mb|<n>f>:<path>[:dense] | sharded:<W>:<inner>";
+
+Status SpecError(const std::string& spec, const std::string& why) {
+  return Status::InvalidArgument("MakeClientStateStore: " + why +
+                                 " in spec '" + spec +
+                                 "' (accepted: " + kSpecGrammar + ")");
+}
+
+// Parses the tiered capacity token: "<n>" = n MiB of pool, "<n>f" = exactly
+// n frames (the test hook — MiB granularity is useless at toy dims).
+bool ParseCapacityToken(const std::string& token, TieredStoreOptions* out) {
+  std::string digits = token;
+  bool frames = false;
+  if (!digits.empty() && digits.back() == 'f') {
+    frames = true;
+    digits.pop_back();
+  }
+  char* end = nullptr;
+  const long long n = std::strtoll(digits.c_str(), &end, 10);
+  if (digits.empty() || end == nullptr || *end != '\0' || n < 1) return false;
+  out->capacity_token = token;
+  if (frames) {
+    out->capacity_frames = static_cast<int64_t>(n);
+  } else {
+    out->capacity_bytes = static_cast<int64_t>(n) * (int64_t{1} << 20);
+  }
+  return true;
+}
+
+Result<std::unique_ptr<ClientStateStore>> MakeTieredStore(
+    const std::string& spec) {
+  const std::string arg = spec.substr(sizeof(kTieredPrefix) - 1);
+  const size_t colon = arg.find(':');
+  if (colon == std::string::npos) {
+    return SpecError(spec, "tiered needs a capacity and a path");
+  }
+  TieredStoreOptions options;
+  if (!ParseCapacityToken(arg.substr(0, colon), &options)) {
+    return SpecError(spec, "bad tiered capacity '" + arg.substr(0, colon) +
+                               "' (want MiB >= 1, or '<n>f' frames)");
+  }
+  std::string rest = arg.substr(colon + 1);
+  // Only the raw-fp32 inner exists: slabs must round-trip bitwise through
+  // the log, which a codec inner cannot promise. The ":dense" suffix is
+  // accepted and normalized away (short form is canonical in name()).
+  constexpr char kDenseSuffix[] = ":dense";
+  const size_t suffix_len = sizeof(kDenseSuffix) - 1;
+  if (rest.size() > suffix_len &&
+      rest.compare(rest.size() - suffix_len, suffix_len, kDenseSuffix) == 0) {
+    rest.resize(rest.size() - suffix_len);
+  } else {
+    const size_t tail_colon = rest.rfind(':');
+    const std::string tail =
+        tail_colon == std::string::npos ? "" : rest.substr(tail_colon + 1);
+    if (tail == "lazy" || rest.find(":quantized:") != std::string::npos ||
+        rest.find(":tiered:") != std::string::npos ||
+        rest.find(":sharded:") != std::string::npos) {
+      return SpecError(spec,
+                       "tiered inner must be dense (slabs are raw fp32; "
+                       "codec inners cannot replay bitwise)");
+    }
+  }
+  if (rest.empty()) {
+    return SpecError(spec, "tiered needs a non-empty slab-log path");
+  }
+  options.path = rest;
+  return {std::make_unique<TieredStateStore>(std::move(options))};
+}
 
 }  // namespace
 
@@ -25,31 +100,27 @@ Result<std::unique_ptr<ClientStateStore>> MakeClientStateStore(
     const long bits = std::strtol(arg.c_str(), &end, 10);
     if (arg.empty() || end == nullptr || *end != '\0' ||
         !((bits >= 1 && bits <= 16) || bits == 32)) {
-      return Status::InvalidArgument(
-          "MakeClientStateStore: bad quantized bits '" + arg +
-          "' (want 1..16 or 32)");
+      return SpecError(spec, "bad quantized bits '" + arg +
+                                 "' (want 1..16 or 32)");
     }
     return {std::make_unique<QuantizedStateStore>(static_cast<int>(bits))};
   }
+  if (spec.rfind(kTieredPrefix, 0) == 0) return MakeTieredStore(spec);
   if (spec.rfind(kShardedPrefix, 0) == 0) {
     const std::string arg = spec.substr(sizeof(kShardedPrefix) - 1);
     const size_t colon = arg.find(':');
     if (colon == std::string::npos) {
-      return Status::InvalidArgument(
-          "MakeClientStateStore: want sharded:<W>:<inner spec>, got '" +
-          spec + "'");
+      return SpecError(spec, "sharded needs a worker count and an inner spec");
     }
     const std::string count = arg.substr(0, colon);
     const std::string inner = arg.substr(colon + 1);
     char* end = nullptr;
     const long shards = std::strtol(count.c_str(), &end, 10);
     if (count.empty() || end == nullptr || *end != '\0' || shards < 1) {
-      return Status::InvalidArgument(
-          "MakeClientStateStore: bad shard count '" + count + "' (want >= 1)");
+      return SpecError(spec, "bad shard count '" + count + "' (want >= 1)");
     }
     if (inner.rfind(kShardedPrefix, 0) == 0) {
-      return Status::InvalidArgument(
-          "MakeClientStateStore: sharded specs do not nest ('" + spec + "')");
+      return SpecError(spec, "sharded specs do not nest");
     }
     // Validate the inner spec through the same factory so error text stays
     // uniform; W = 1 then *is* the inner store — one partition of
@@ -60,9 +131,7 @@ Result<std::unique_ptr<ClientStateStore>> MakeClientStateStore(
     return {std::make_unique<ShardedStateStore>(static_cast<int>(shards),
                                                 inner)};
   }
-  return Status::InvalidArgument(
-      "MakeClientStateStore: unknown spec '" + spec +
-      "' (want dense | lazy | quantized:<bits> | sharded:<W>:<inner>)");
+  return SpecError(spec, "unknown spec");
 }
 
 Result<std::unique_ptr<ClientStateStore>> MakeConfiguredClientStateStore(
@@ -84,7 +153,8 @@ Result<std::unique_ptr<ClientStateStore>> MakeConfiguredClientStateStore(
 const std::vector<std::string>& ClientStateStoreExampleSpecs() {
   static const std::vector<std::string>* const kSpecs =
       new std::vector<std::string>(
-          {"dense", "lazy", "quantized:8", "quantized:32", "sharded:4:lazy"});
+          {"dense", "lazy", "quantized:8", "quantized:32",
+           "tiered:64:/tmp/fedadmm_state.slab", "sharded:4:lazy"});
   return *kSpecs;
 }
 

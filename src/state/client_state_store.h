@@ -49,6 +49,8 @@
 
 namespace fedadmm {
 
+class ThreadPool;
+
 /// \brief Geometry + shared initial value of one per-client state vector.
 struct StateSlotSpec {
   /// Vector length of this slot (the model dimension d for FL state).
@@ -111,6 +113,27 @@ class ClientStateStore {
   virtual int num_clients() const = 0;
   virtual int num_slots() const = 0;
   virtual int64_t slot_dim(int slot) const = 0;
+
+  /// Tells a backend which worker partition it serves, *before* Configure.
+  /// The sharded wrapper calls this on each inner store so backends with
+  /// external resources can disambiguate them (the tiered store suffixes
+  /// its log path `.seg<shard>` and labels its metrics `{shard=s}`).
+  /// Default: ignored — in-memory backends are shard-agnostic.
+  virtual void SetShardContext(int shard, int num_shards) {
+    (void)shard;
+    (void)num_shards;
+  }
+
+  /// Hints that `clients` will be touched by the next wave. Out-of-core
+  /// backends fault their cold slabs into memory — on `pool` when given
+  /// (overlapping the caller's work), synchronously otherwise — so the
+  /// wave's views hit. In-memory backends ignore it. Safe concurrently
+  /// with per-client calls; copies `clients` before returning.
+  virtual void PrefetchClients(const std::vector<int>& clients,
+                               ThreadPool* pool) {
+    (void)clients;
+    (void)pool;
+  }
 };
 
 /// \brief Builds a store from a spec string:
@@ -120,10 +143,18 @@ class ClientStateStore {
 ///   * "quantized:<b>"    — cold state through the src/comm quantizers,
 ///                          b in 1..16 (uniform b-bit grid) or 32 (raw
 ///                          fp32, lossless);
+///   * "tiered:<c>:<p>[:dense]"
+///                        — out-of-core: a `<c>` MiB buffer pool (or
+///                          `<n>f` = exactly n frames, the test hook)
+///                          over an append-only slab log at path `<p>`
+///                          (state/tiered_store.h). The inner is always
+///                          dense — slabs are raw fp32 so replay is
+///                          bitwise; codec inners are rejected.
 ///   * "sharded:<W>:<s>"  — client-id partition over W copies of the
 ///                          unsharded spec `<s>` (state/sharded_store.h);
 ///                          W = 1 normalizes to `<s>` itself.
-/// Returns InvalidArgument for anything else.
+/// Returns InvalidArgument for anything else; every error quotes the
+/// offending spec and this grammar.
 Result<std::unique_ptr<ClientStateStore>> MakeClientStateStore(
     const std::string& spec);
 

@@ -42,6 +42,10 @@ void ShardedStateStore::Configure(int num_clients,
     auto shard = MakeClientStateStore(inner_spec_);
     FEDADMM_CHECK_MSG(shard.ok(), shard.status().ToString());
     shards_.push_back(std::move(shard).ValueOrDie());
+    // Identity before geometry: backends with external resources (the
+    // tiered store's log segment) need the shard id to disambiguate them
+    // before Configure creates anything on disk.
+    shards_.back()->SetShardContext(s, active);
     shards_.back()->Configure(local_clients, slots);  // each shard gets a copy
   }
 }
@@ -102,6 +106,22 @@ void ShardedStateStore::ForEachTouched(
             });
   for (const Entry& e : entries) {
     visitor(e.client, e.slot, {e.value.data(), e.value.size()});
+  }
+}
+
+void ShardedStateStore::PrefetchClients(const std::vector<int>& clients,
+                                        ThreadPool* pool) {
+  const int active = num_active_shards();
+  if (active == 0) return;
+  std::vector<std::vector<int>> by_shard(static_cast<size_t>(active));
+  for (const int client : clients) {
+    by_shard[static_cast<size_t>(ShardFor(client))].push_back(
+        LocalIndex(client));
+  }
+  for (int s = 0; s < active; ++s) {
+    if (by_shard[static_cast<size_t>(s)].empty()) continue;
+    shards_[static_cast<size_t>(s)]->PrefetchClients(
+        by_shard[static_cast<size_t>(s)], pool);
   }
 }
 

@@ -52,6 +52,11 @@ class ShardedStateStore final : public ClientStateStore {
   int64_t bytes_resident() const override;
   int num_touched_clients() const override;
 
+  /// Groups `clients` by owning shard and forwards each group (as local
+  /// indices) to that shard's inner store, sharing the one executor pool.
+  void PrefetchClients(const std::vector<int>& clients,
+                       ThreadPool* pool) override;
+
   int num_clients() const override { return num_clients_; }
   int num_slots() const override { return num_slots_; }
   int64_t slot_dim(int slot) const override;

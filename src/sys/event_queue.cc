@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "util/file_io.h"
 #include "util/shard.h"
 #include "util/status.h"
 
@@ -16,6 +17,68 @@ bool Later(const ClientCompletionEvent& a, const ClientCompletionEvent& b) {
 }
 
 }  // namespace
+
+void SerializeClientCompletionEvent(const ClientCompletionEvent& event,
+                                    ByteWriter* writer) {
+  writer->F64(event.time);
+  writer->I64(event.sequence);
+  writer->U32(static_cast<uint32_t>(event.client_id));
+  writer->U32(static_cast<uint32_t>(event.wave));
+  writer->U32(static_cast<uint32_t>(event.theta_version));
+  writer->F64(event.timing.download_seconds);
+  writer->F64(event.timing.compute_seconds);
+  writer->F64(event.timing.upload_seconds);
+  writer->U8(static_cast<uint8_t>(event.decision.fate));
+  writer->F64(event.decision.work_fraction);
+  writer->F64(event.decision.finish_seconds);
+  writer->F64(event.decision.download_fraction);
+  writer->U32(static_cast<uint32_t>(event.message.client_id));
+  writer->Floats(event.message.delta);
+  writer->Floats(event.message.delta2);
+  writer->F64(event.message.train_loss);
+  writer->U32(static_cast<uint32_t>(event.message.epochs_run));
+  writer->U32(static_cast<uint32_t>(event.message.steps_run));
+  writer->F64(event.message.final_grad_norm_sq);
+  writer->I64(event.message.wire_bytes);
+}
+
+Result<ClientCompletionEvent> DeserializeClientCompletionEvent(
+    ByteReader* reader) {
+  ClientCompletionEvent event;
+  FEDADMM_ASSIGN_OR_RETURN(event.time, reader->F64());
+  FEDADMM_ASSIGN_OR_RETURN(event.sequence, reader->I64());
+  FEDADMM_ASSIGN_OR_RETURN(uint32_t client_id, reader->U32());
+  event.client_id = static_cast<int>(client_id);
+  FEDADMM_ASSIGN_OR_RETURN(uint32_t wave, reader->U32());
+  event.wave = static_cast<int>(wave);
+  FEDADMM_ASSIGN_OR_RETURN(uint32_t theta_version, reader->U32());
+  event.theta_version = static_cast<int>(theta_version);
+  FEDADMM_ASSIGN_OR_RETURN(event.timing.download_seconds, reader->F64());
+  FEDADMM_ASSIGN_OR_RETURN(event.timing.compute_seconds, reader->F64());
+  FEDADMM_ASSIGN_OR_RETURN(event.timing.upload_seconds, reader->F64());
+  FEDADMM_ASSIGN_OR_RETURN(uint8_t fate, reader->U8());
+  if (fate > static_cast<uint8_t>(ClientFate::kDropped)) {
+    return Status::InvalidArgument(
+        "DeserializeClientCompletionEvent: bad ClientFate " +
+        std::to_string(fate));
+  }
+  event.decision.fate = static_cast<ClientFate>(fate);
+  FEDADMM_ASSIGN_OR_RETURN(event.decision.work_fraction, reader->F64());
+  FEDADMM_ASSIGN_OR_RETURN(event.decision.finish_seconds, reader->F64());
+  FEDADMM_ASSIGN_OR_RETURN(event.decision.download_fraction, reader->F64());
+  FEDADMM_ASSIGN_OR_RETURN(uint32_t message_client, reader->U32());
+  event.message.client_id = static_cast<int>(message_client);
+  FEDADMM_ASSIGN_OR_RETURN(event.message.delta, reader->Floats());
+  FEDADMM_ASSIGN_OR_RETURN(event.message.delta2, reader->Floats());
+  FEDADMM_ASSIGN_OR_RETURN(event.message.train_loss, reader->F64());
+  FEDADMM_ASSIGN_OR_RETURN(uint32_t epochs_run, reader->U32());
+  event.message.epochs_run = static_cast<int>(epochs_run);
+  FEDADMM_ASSIGN_OR_RETURN(uint32_t steps_run, reader->U32());
+  event.message.steps_run = static_cast<int>(steps_run);
+  FEDADMM_ASSIGN_OR_RETURN(event.message.final_grad_norm_sq, reader->F64());
+  FEDADMM_ASSIGN_OR_RETURN(event.message.wire_bytes, reader->I64());
+  return {std::move(event)};
+}
 
 ClientCompletionEvent MakeClientCompletionEvent(
     const ClientSystemProfile& profile, const StragglerPolicy& policy,

@@ -33,8 +33,12 @@
 #include "sys/profiles.h"
 #include "sys/straggler.h"
 #include "sys/virtual_clock.h"
+#include "util/status.h"
 
 namespace fedadmm {
+
+class ByteReader;
+class ByteWriter;
 
 /// \brief One client's upload arriving (or being cut off) at the server.
 struct ClientCompletionEvent {
@@ -57,6 +61,16 @@ struct ClientCompletionEvent {
   /// The computed update (against the θ snapshot downloaded at dispatch).
   UpdateMessage message;
 };
+
+/// \brief Serializes every field of `event` (timing, decision, and the
+/// full update message) in the `util/file_io.h` encoding — the in-flight
+/// half of an event-mode checkpoint.
+void SerializeClientCompletionEvent(const ClientCompletionEvent& event,
+                                    ByteWriter* writer);
+
+/// \brief Inverse of `SerializeClientCompletionEvent`.
+Result<ClientCompletionEvent> DeserializeClientCompletionEvent(
+    ByteReader* reader);
 
 /// \brief Builds a completion event: times the client's actual work via
 /// `ComputeClientTiming`, applies `policy` as the admission predicate, and
@@ -81,6 +95,12 @@ class EventQueue {
 
   bool empty() const { return heap_.empty(); }
   int size() const { return static_cast<int>(heap_.size()); }
+
+  /// All queued events in heap-internal (unspecified) order — the
+  /// checkpoint writer's snapshot surface. Restore by re-Pushing each;
+  /// (time, sequence) is a total order, so the rebuilt heap pops
+  /// identically regardless of the snapshot order.
+  const std::vector<ClientCompletionEvent>& events() const { return heap_; }
 
  private:
   // std::priority_queue hides the top element from moves; a plain vector
@@ -118,6 +138,10 @@ class ShardedEventQueue {
   /// Events currently queued on one shard (load-balance introspection).
   int shard_size(int shard) const {
     return shards_[static_cast<size_t>(shard)].size();
+  }
+  /// One shard's heap (checkpoint snapshots via `EventQueue::events`).
+  const EventQueue& shard(int shard) const {
+    return shards_[static_cast<size_t>(shard)];
   }
 
  private:

@@ -1,0 +1,135 @@
+/// \file file_io.h
+/// \brief Checksummed binary file primitives for the out-of-core layer.
+///
+/// Three small pieces shared by the slab log, the simulation checkpoint
+/// and the event-queue serialization (state/slab_log.h,
+/// state/checkpoint.h, sys/event_queue.h):
+///
+///   * `Crc32`            — the IEEE 802.3 polynomial, table-driven; every
+///                          on-disk record carries one so a torn tail or a
+///                          flipped bit is detected, never replayed.
+///   * `ByteWriter` /     — bounds-checked little-endian encoding into an
+///     `ByteReader`         owned byte string. Fixed-width on disk
+///                          regardless of host: the formats are part of
+///                          the checkpoint contract.
+///   * `RandomAccessFile` — positional pread/pwrite over one POSIX fd.
+///                          Appends track the logical end so the slab log
+///                          can hand out stable record offsets; reads never
+///                          share seek state, so concurrent prefetch
+///                          faults need no file lock of their own.
+///
+/// Float bit patterns round-trip exactly (bit_cast through uint32), which
+/// is what makes checkpoint replay bitwise rather than approximately
+/// equal.
+
+#ifndef FEDADMM_UTIL_FILE_IO_H_
+#define FEDADMM_UTIL_FILE_IO_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace fedadmm {
+
+/// \brief CRC-32 (IEEE 802.3, reflected) of `len` bytes; `seed` chains
+/// incremental computations (pass a previous return value).
+uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0);
+
+/// \brief Little-endian append-only encoder into an owned byte string.
+class ByteWriter {
+ public:
+  void U8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void U32(uint32_t v);
+  void U64(uint64_t v);
+  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
+  void F64(double v);
+  /// Raw bytes, no length prefix (caller frames them).
+  void Bytes(const void* data, size_t len);
+  /// u64 length prefix + raw bytes.
+  void String(std::string_view s);
+  /// u64 count prefix + raw fp32 bit patterns.
+  void Floats(std::span<const float> v);
+
+  const std::string& str() const { return out_; }
+  std::string Take() { return std::move(out_); }
+  size_t size() const { return out_.size(); }
+
+ private:
+  std::string out_;
+};
+
+/// \brief Bounds-checked little-endian decoder over a borrowed buffer.
+/// Every read returns IoError once the buffer is exhausted — a truncated
+/// blob surfaces as a Status, never as garbage values.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  Result<uint8_t> U8();
+  Result<uint32_t> U32();
+  Result<uint64_t> U64();
+  Result<int64_t> I64();
+  Result<double> F64();
+  Status Bytes(void* out, size_t len);
+  Result<std::string> String();
+  Result<std::vector<float>> Floats();
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool empty() const { return remaining() == 0; }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+/// \brief One POSIX fd with positional reads/writes and a tracked append
+/// end. Not thread-safe for concurrent appends; concurrent `ReadAt` calls
+/// are safe against each other (pread carries its own offset).
+class RandomAccessFile {
+ public:
+  RandomAccessFile() = default;
+  ~RandomAccessFile();
+  RandomAccessFile(const RandomAccessFile&) = delete;
+  RandomAccessFile& operator=(const RandomAccessFile&) = delete;
+
+  /// Opens (creating if absent) for read/write; `truncate` wipes existing
+  /// contents. The append end starts at the existing size (0 after
+  /// truncate).
+  Status Open(const std::string& path, bool truncate);
+  bool is_open() const { return fd_ >= 0; }
+
+  /// Reads exactly `len` bytes at `offset`; IoError on short read.
+  Status ReadAt(int64_t offset, void* out, size_t len) const;
+  /// Writes exactly `len` bytes at the current append end; returns the
+  /// offset they landed at via `offset_out` (may be null).
+  Status Append(const void* data, size_t len, int64_t* offset_out = nullptr);
+  /// Drops every byte past `end` and moves the append end there — how the
+  /// slab log discards a torn tail before resuming appends.
+  Status Truncate(int64_t end);
+  /// fdatasync: makes every appended byte durable (checkpoint commits).
+  Status Sync();
+
+  /// Logical append end (== file size while this object is the only
+  /// writer).
+  int64_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  int64_t size_ = 0;
+  std::string path_;
+};
+
+/// \brief Best-effort unlink (scratch-file hygiene); ignores a missing
+/// file.
+void RemoveFileIfExists(const std::string& path);
+
+}  // namespace fedadmm
+
+#endif  // FEDADMM_UTIL_FILE_IO_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 
 namespace fedadmm {
 
@@ -70,6 +71,27 @@ std::vector<double> Rng::Dirichlet(int k, double alpha) {
   }
   for (double& v : out) v /= sum;
   return out;
+}
+
+std::string Rng::SerializeState() const {
+  // mt19937_64's textual stream state is exact: reading it back restores
+  // the engine to the identical draw position.
+  std::ostringstream oss;
+  oss << seed_material_ << ' ' << engine_;
+  return oss.str();
+}
+
+Status Rng::RestoreState(const std::string& blob) {
+  std::istringstream iss(blob);
+  uint64_t seed_material = 0;
+  std::mt19937_64 engine;
+  iss >> seed_material >> engine;
+  if (iss.fail()) {
+    return Status::InvalidArgument("Rng::RestoreState: malformed state blob");
+  }
+  seed_material_ = seed_material;
+  engine_ = engine;
+  return Status::OK();
 }
 
 }  // namespace fedadmm

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <random>
+#include <string>
 #include <vector>
 
 #include "util/status.h"
@@ -71,6 +72,14 @@ class Rng {
 
   /// The underlying engine (for interop with <random> distributions).
   std::mt19937_64& engine() { return engine_; }
+
+  /// Serializes the complete generator state — the fork seed material plus
+  /// the engine's exact position — so a checkpointed stream resumes on the
+  /// very next draw it would have produced.
+  std::string SerializeState() const;
+
+  /// Restores a `SerializeState` blob; InvalidArgument on a malformed one.
+  Status RestoreState(const std::string& blob);
 
  private:
   static constexpr uint64_t kGolden = 0x9e3779b97f4a7c15ULL;

@@ -1,7 +1,9 @@
-// Store-backend equivalence property: `lazy` and `quantized:32` (identity
-// codec, lossless) replay bitwise identically to `dense` — the historical
-// layout — on seeded FedADMM + FedPD + SCAFFOLD runs, across thread
-// counts; and `lazy` resident bytes track the touched population.
+// Store-backend equivalence property: `lazy`, `quantized:32` (identity
+// codec, lossless) and `tiered` (out-of-core, raw fp32 slabs — here with a
+// pool of just 3 frames, so nearly every round churns through the slab
+// log) replay bitwise identically to `dense` — the historical layout — on
+// seeded FedADMM + FedPD + SCAFFOLD runs, across thread counts; and `lazy`
+// resident bytes track the touched population.
 
 #include <gtest/gtest.h>
 
@@ -84,7 +86,12 @@ class BackendEquivalenceSweep
 TEST_P(BackendEquivalenceSweep, LazyAndLosslessQuantizedMatchDenseBitwise) {
   const std::string algo = GetParam();
   const RunOutput dense = RunWith(algo, "dense", /*threads=*/1);
-  for (const std::string& backend : {"lazy", "quantized:32"}) {
+  // The tiered pool holds 3 frames against 12 clients × up-to-2 slots:
+  // constant eviction/fault traffic, yet bitwise replay must hold.
+  const std::string tiered =
+      "tiered:3f:" + ::testing::TempDir() + "store_eq_" + algo + ".slab";
+  for (const std::string& backend : {std::string("lazy"),
+                                     std::string("quantized:32"), tiered}) {
     for (int threads : {1, 4}) {
       const RunOutput run = RunWith(algo, backend, threads);
       EXPECT_EQ(run.theta, dense.theta)
