@@ -61,10 +61,38 @@ class UpdateCodec {
                          Rng* rng) = 0;
 
   /// Reconstructs a vector from `payload`. Pure function of the bytes.
+  /// CHECK-aborts on malformed bytes — only for payloads produced
+  /// in-process; boundary bytes go through `TryDecode`.
   virtual std::vector<float> Decode(const Payload& payload) const = 0;
+
+  /// Status-returning decode for bytes that crossed a process/network
+  /// boundary (src/serve): validates the structure against `expected_dim`
+  /// before allocating and never aborts. On success the result is bitwise
+  /// identical to `Decode` of the same bytes. Thread-safe (const). The
+  /// default rejects — codecs opt in.
+  virtual Result<std::vector<float>> TryDecode(const uint8_t* data,
+                                               size_t len,
+                                               int64_t expected_dim) const {
+    (void)data;
+    (void)len;
+    (void)expected_dim;
+    return Status::Unimplemented("UpdateCodec: " + name() +
+                                 " does not support boundary decode");
+  }
 
   /// Exact `Encode(...).WireBytes()` for any vector of length `dim`.
   virtual int64_t WireBytes(int64_t dim) const = 0;
+
+  /// True when `Encode` is a pure function of its input vector (no Rng
+  /// draws). A serving frontend can only reproduce the in-process
+  /// trajectory bitwise for deterministic uplink codecs — the client-side
+  /// encoder has no access to the server's per-(round, client) streams.
+  virtual bool deterministic() const { return true; }
+
+  /// True when `Encode` mutates cross-round codec state (error feedback).
+  /// Stateful uplink codecs are rejected by the serving frontend: the
+  /// client-side and server-side residual histories could diverge.
+  virtual bool stateful() const { return false; }
 };
 
 /// Stream id the simulator uses when the server encodes the θ broadcast.

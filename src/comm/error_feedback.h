@@ -41,7 +41,17 @@ class ErrorFeedbackCodec : public UpdateCodec {
   Payload Encode(int64_t stream, const std::vector<float>& v,
                  Rng* rng) override;
   std::vector<float> Decode(const Payload& payload) const override;
+  /// Wire format is the inner codec's; boundary decode delegates.
+  Result<std::vector<float>> TryDecode(const uint8_t* data, size_t len,
+                                       int64_t expected_dim) const override {
+    return inner_->TryDecode(data, len, expected_dim);
+  }
   int64_t WireBytes(int64_t dim) const override;
+
+  bool deterministic() const override { return inner_->deterministic(); }
+  /// Residuals accumulate across rounds: a remote encoder's memory would
+  /// diverge from the server's — the serving frontend must reject this.
+  bool stateful() const override { return true; }
 
   /// The residual currently carried for `stream` (empty if none yet).
   const std::vector<float>& residual(int64_t stream) const;

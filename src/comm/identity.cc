@@ -25,6 +25,22 @@ std::vector<float> IdentityCodec::Decode(const Payload& payload) const {
   return v;
 }
 
+Result<std::vector<float>> IdentityCodec::TryDecode(
+    const uint8_t* data, size_t len, int64_t expected_dim) const {
+  if (expected_dim < 0 ||
+      len != static_cast<size_t>(expected_dim) * sizeof(float)) {
+    return Status::InvalidArgument(
+        "IdentityCodec: payload is " + std::to_string(len) +
+        " bytes, want " + std::to_string(expected_dim) + " * 4");
+  }
+  std::vector<float> v(static_cast<size_t>(expected_dim));
+  wire::ReaderView reader(data, len);
+  for (size_t i = 0; i < v.size(); ++i) {
+    FEDADMM_RETURN_IF_ERROR(reader.TryF32(&v[i]));
+  }
+  return {std::move(v)};
+}
+
 int64_t IdentityCodec::WireBytes(int64_t dim) const {
   FEDADMM_CHECK_MSG(dim >= 0, "IdentityCodec: negative dim");
   return dim * static_cast<int64_t>(sizeof(float));

@@ -108,6 +108,50 @@ std::vector<float> ChunkedQuantCodec::Decode(const Payload& payload) const {
   return v;
 }
 
+Result<std::vector<float>> ChunkedQuantCodec::TryDecode(
+    const uint8_t* data, size_t len, int64_t expected_dim) const {
+  wire::ReaderView reader(data, len);
+  uint64_t dim = 0;
+  FEDADMM_RETURN_IF_ERROR(reader.TryU64(&dim));
+  if (expected_dim < 0 || dim != static_cast<uint64_t>(expected_dim)) {
+    return Status::InvalidArgument(
+        "ChunkedQuantCodec: payload dim " + std::to_string(dim) +
+        " != expected " + std::to_string(expected_dim));
+  }
+  if (len != static_cast<size_t>(WireBytes(expected_dim))) {
+    return Status::InvalidArgument(
+        "ChunkedQuantCodec: payload is " + std::to_string(len) +
+        " bytes, want " + std::to_string(WireBytes(expected_dim)));
+  }
+  std::vector<float> v(static_cast<size_t>(dim));
+  const size_t chunk = static_cast<size_t>(chunk_);
+  const simd::KernelTable& kern = simd::ActiveKernels();
+  std::vector<uint16_t> codes(std::min(chunk, v.size()));
+  for (size_t begin = 0; begin < v.size(); begin += chunk) {
+    const size_t end = std::min(begin + chunk, v.size());
+    float scale = 0.0f;
+    FEDADMM_RETURN_IF_ERROR(reader.TryF32(&scale));
+    // A hostile scale cannot crash the grid inverse, but it would smuggle
+    // non-finite values into the aggregation reduce; reject at the door.
+    if (!std::isfinite(scale) || scale < 0.0f) {
+      return Status::InvalidArgument(
+          "ChunkedQuantCodec: non-finite or negative chunk scale");
+    }
+    const size_t packed = static_cast<size_t>(wire::BitPacker::PackedBytes(
+        static_cast<int64_t>(end - begin), bits_));
+    const uint8_t* bytes = nullptr;
+    FEDADMM_RETURN_IF_ERROR(reader.TrySkip(packed, &bytes));
+    kern.unpack_codes(bytes, end - begin, bits_, codes.data());
+    kern.dequantize_grid(codes.data(), end - begin, scale, levels_,
+                         v.data() + begin);
+  }
+  if (reader.remaining() != 0) {
+    return Status::InvalidArgument(
+        "ChunkedQuantCodec: trailing payload bytes");
+  }
+  return {std::move(v)};
+}
+
 int64_t ChunkedQuantCodec::WireBytes(int64_t dim) const {
   FEDADMM_CHECK_MSG(dim >= 0, "ChunkedQuantCodec: negative dim");
   int64_t bytes = 8;  // u64 dim

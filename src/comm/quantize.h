@@ -42,6 +42,8 @@ class ChunkedQuantCodec : public UpdateCodec {
   ChunkedQuantCodec(int bits, int chunk);
 
   std::vector<float> Decode(const Payload& payload) const override;
+  Result<std::vector<float>> TryDecode(const uint8_t* data, size_t len,
+                                       int64_t expected_dim) const override;
   int64_t WireBytes(int64_t dim) const override;
 
   int bits() const { return bits_; }
@@ -99,6 +101,9 @@ class StochasticQuantCodec : public ChunkedQuantCodec {
   std::string name() const override;
   Payload Encode(int64_t stream, const std::vector<float>& v,
                  Rng* rng) override;
+  /// Stochastic rounding draws from the caller's Rng: a remote encoder
+  /// cannot reproduce the server's stream (decode stays deterministic).
+  bool deterministic() const override { return false; }
 
  protected:
   uint32_t Quantize(double x, Rng* rng) const override;

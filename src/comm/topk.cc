@@ -77,6 +77,44 @@ std::vector<float> TopKCodec::Decode(const Payload& payload) const {
   return v;
 }
 
+Result<std::vector<float>> TopKCodec::TryDecode(const uint8_t* data,
+                                                size_t len,
+                                                int64_t expected_dim) const {
+  wire::ReaderView reader(data, len);
+  uint64_t dim = 0;
+  uint64_t k = 0;
+  FEDADMM_RETURN_IF_ERROR(reader.TryU64(&dim));
+  FEDADMM_RETURN_IF_ERROR(reader.TryU64(&k));
+  if (expected_dim < 0 || dim != static_cast<uint64_t>(expected_dim)) {
+    return Status::InvalidArgument(
+        "TopKCodec: payload dim " + std::to_string(dim) + " != expected " +
+        std::to_string(expected_dim));
+  }
+  if (k > dim || len != 16 + 8 * k) {
+    return Status::InvalidArgument(
+        "TopKCodec: payload is " + std::to_string(len) + " bytes with k=" +
+        std::to_string(k) + " at dim " + std::to_string(dim));
+  }
+  std::vector<uint32_t> indices(k);
+  for (uint64_t i = 0; i < k; ++i) {
+    FEDADMM_RETURN_IF_ERROR(reader.TryU32(&indices[i]));
+    // Encode emits strictly ascending indices; that single check also
+    // rejects duplicates and (with the last index) out-of-range writes.
+    if (indices[i] >= dim || (i > 0 && indices[i] <= indices[i - 1])) {
+      return Status::InvalidArgument(
+          "TopKCodec: indices not strictly ascending within dim");
+    }
+  }
+  std::vector<float> v(dim, 0.0f);
+  for (uint64_t i = 0; i < k; ++i) {
+    FEDADMM_RETURN_IF_ERROR(reader.TryF32(&v[indices[i]]));
+  }
+  if (reader.remaining() != 0) {
+    return Status::InvalidArgument("TopKCodec: trailing payload bytes");
+  }
+  return {std::move(v)};
+}
+
 int64_t TopKCodec::WireBytes(int64_t dim) const {
   return 16 + 8 * KForDim(dim);
 }

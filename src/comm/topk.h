@@ -34,6 +34,8 @@ class TopKCodec : public UpdateCodec {
   Payload Encode(int64_t stream, const std::vector<float>& v,
                  Rng* rng) override;
   std::vector<float> Decode(const Payload& payload) const override;
+  Result<std::vector<float>> TryDecode(const uint8_t* data, size_t len,
+                                       int64_t expected_dim) const override;
   int64_t WireBytes(int64_t dim) const override;
 
   /// k for a d-vector: min(d, max(1, ceil(fraction·d))); 0 when d == 0.

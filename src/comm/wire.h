@@ -3,9 +3,19 @@
 ///
 /// Every codec serializes to little-endian bytes through these helpers so
 /// `WireBytes()` accounting is exact by construction and payloads are
-/// portable across hosts of the same endianness class. The reader bounds-
-/// checks every access: a malformed payload is a programmer error (payloads
-/// are produced in-process) and aborts via FEDADMM_CHECK.
+/// portable across hosts of the same endianness class. Two reader tiers:
+///
+///   * `Reader` bounds-checks every access and aborts via FEDADMM_CHECK —
+///     for payloads produced in-process, where truncation is a programmer
+///     error.
+///   * `ReaderView` returns Status instead — the only legal parser for
+///     bytes that crossed a process/network boundary (src/serve), where a
+///     malformed frame is an input, not a bug, and must never abort.
+///
+/// On little-endian hosts the fixed-width paths are single memcpys (the
+/// per-byte shift loops remain as the big-endian fallback and the byte
+/// contract: tests/comm/wire_view_test.cc pins both against hardcoded
+/// little-endian sequences).
 
 #ifndef FEDADMM_COMM_WIRE_H_
 #define FEDADMM_COMM_WIRE_H_
@@ -18,6 +28,15 @@
 
 namespace fedadmm::wire {
 
+// The host stores integers in wire order: fixed-width puts/gets are single
+// memcpys instead of per-byte shift loops (identical bytes either way).
+#if defined(__BYTE_ORDER__) && defined(__ORDER_LITTLE_ENDIAN__) && \
+    __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+inline constexpr bool kHostIsLittleEndian = true;
+#else
+inline constexpr bool kHostIsLittleEndian = false;
+#endif
+
 /// \brief Appends fixed-width little-endian values to a byte buffer.
 class Writer {
  public:
@@ -27,15 +46,32 @@ class Writer {
 
   void PutU8(uint8_t v) { out_->push_back(v); }
 
+  void PutU16(uint16_t v) {
+    out_->push_back(static_cast<uint8_t>(v));
+    out_->push_back(static_cast<uint8_t>(v >> 8));
+  }
+
   void PutU32(uint32_t v) {
-    for (int i = 0; i < 4; ++i) {
-      out_->push_back(static_cast<uint8_t>(v >> (8 * i)));
+    if constexpr (kHostIsLittleEndian) {
+      const size_t pos = out_->size();
+      out_->resize(pos + sizeof(v));
+      std::memcpy(out_->data() + pos, &v, sizeof(v));
+    } else {
+      for (int i = 0; i < 4; ++i) {
+        out_->push_back(static_cast<uint8_t>(v >> (8 * i)));
+      }
     }
   }
 
   void PutU64(uint64_t v) {
-    for (int i = 0; i < 8; ++i) {
-      out_->push_back(static_cast<uint8_t>(v >> (8 * i)));
+    if constexpr (kHostIsLittleEndian) {
+      const size_t pos = out_->size();
+      out_->resize(pos + sizeof(v));
+      std::memcpy(out_->data() + pos, &v, sizeof(v));
+    } else {
+      for (int i = 0; i < 8; ++i) {
+        out_->push_back(static_cast<uint8_t>(v >> (8 * i)));
+      }
     }
   }
 
@@ -43,6 +79,12 @@ class Writer {
     uint32_t bits = 0;
     std::memcpy(&bits, &v, sizeof(bits));
     PutU32(bits);
+  }
+
+  void PutF64(double v) {
+    uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    PutU64(bits);
   }
 
   /// Appends `n` uninitialized-content (zeroed) bytes and returns a pointer
@@ -71,9 +113,13 @@ class Reader {
   uint32_t GetU32() {
     FEDADMM_CHECK_MSG(pos_ + 4 <= bytes_.size(), "wire: truncated payload");
     uint32_t v = 0;
-    for (int i = 0; i < 4; ++i) {
-      v |= static_cast<uint32_t>(bytes_[pos_ + static_cast<size_t>(i)])
-           << (8 * i);
+    if constexpr (kHostIsLittleEndian) {
+      std::memcpy(&v, bytes_.data() + pos_, sizeof(v));
+    } else {
+      for (int i = 0; i < 4; ++i) {
+        v |= static_cast<uint32_t>(bytes_[pos_ + static_cast<size_t>(i)])
+             << (8 * i);
+      }
     }
     pos_ += 4;
     return v;
@@ -82,9 +128,13 @@ class Reader {
   uint64_t GetU64() {
     FEDADMM_CHECK_MSG(pos_ + 8 <= bytes_.size(), "wire: truncated payload");
     uint64_t v = 0;
-    for (int i = 0; i < 8; ++i) {
-      v |= static_cast<uint64_t>(bytes_[pos_ + static_cast<size_t>(i)])
-           << (8 * i);
+    if constexpr (kHostIsLittleEndian) {
+      std::memcpy(&v, bytes_.data() + pos_, sizeof(v));
+    } else {
+      for (int i = 0; i < 8; ++i) {
+        v |= static_cast<uint64_t>(bytes_[pos_ + static_cast<size_t>(i)])
+             << (8 * i);
+      }
     }
     pos_ += 8;
     return v;
@@ -111,6 +161,104 @@ class Reader {
 
  private:
   const std::vector<uint8_t>& bytes_;
+  size_t pos_ = 0;
+};
+
+/// \brief Status-returning little-endian parser over a borrowed byte span.
+///
+/// The boundary twin of `Reader`: every accessor reports truncation as
+/// `Status::InvalidArgument` instead of aborting, so network-supplied bytes
+/// can be parsed without trusting them. Out-parameters (rather than
+/// `Result<T>`) keep the hot ingest path allocation-free.
+class ReaderView {
+ public:
+  ReaderView(const uint8_t* data, size_t len) : data_(data), len_(len) {
+    FEDADMM_CHECK(data != nullptr || len == 0);
+  }
+
+  Status TryU8(uint8_t* out) {
+    if (pos_ + 1 > len_) return Truncated();
+    *out = data_[pos_++];
+    return Status::OK();
+  }
+
+  Status TryU16(uint16_t* out) {
+    if (pos_ + 2 > len_) return Truncated();
+    *out = static_cast<uint16_t>(
+        static_cast<uint16_t>(data_[pos_]) |
+        (static_cast<uint16_t>(data_[pos_ + 1]) << 8));
+    pos_ += 2;
+    return Status::OK();
+  }
+
+  Status TryU32(uint32_t* out) {
+    if (pos_ + 4 > len_) return Truncated();
+    uint32_t v = 0;
+    if constexpr (kHostIsLittleEndian) {
+      std::memcpy(&v, data_ + pos_, sizeof(v));
+    } else {
+      for (int i = 0; i < 4; ++i) {
+        v |= static_cast<uint32_t>(data_[pos_ + static_cast<size_t>(i)])
+             << (8 * i);
+      }
+    }
+    pos_ += 4;
+    *out = v;
+    return Status::OK();
+  }
+
+  Status TryU64(uint64_t* out) {
+    if (pos_ + 8 > len_) return Truncated();
+    uint64_t v = 0;
+    if constexpr (kHostIsLittleEndian) {
+      std::memcpy(&v, data_ + pos_, sizeof(v));
+    } else {
+      for (int i = 0; i < 8; ++i) {
+        v |= static_cast<uint64_t>(data_[pos_ + static_cast<size_t>(i)])
+             << (8 * i);
+      }
+    }
+    pos_ += 8;
+    *out = v;
+    return Status::OK();
+  }
+
+  Status TryF32(float* out) {
+    uint32_t bits = 0;
+    FEDADMM_RETURN_IF_ERROR(TryU32(&bits));
+    std::memcpy(out, &bits, sizeof(*out));
+    return Status::OK();
+  }
+
+  Status TryF64(double* out) {
+    uint64_t bits = 0;
+    FEDADMM_RETURN_IF_ERROR(TryU64(&bits));
+    std::memcpy(out, &bits, sizeof(*out));
+    return Status::OK();
+  }
+
+  /// Consumes `n` bytes at once, pointing `*out` at them (valid while the
+  /// underlying span lives) — the Status twin of `Reader::Skip` for block
+  /// parsers (SIMD bit unpacking, payload views).
+  Status TrySkip(size_t n, const uint8_t** out) {
+    if (n > len_ - pos_) return Truncated();
+    *out = data_ + pos_;
+    pos_ += n;
+    return Status::OK();
+  }
+
+  /// Bytes not yet consumed.
+  size_t remaining() const { return len_ - pos_; }
+  /// Bytes consumed so far.
+  size_t consumed() const { return pos_; }
+
+ private:
+  static Status Truncated() {
+    return Status::InvalidArgument("wire: truncated payload");
+  }
+
+  const uint8_t* data_;
+  size_t len_;
   size_t pos_ = 0;
 };
 

@@ -50,7 +50,7 @@ DownlinkPlan CommPipeline::PrepareDownlink(int wave,
   const int64_t raw_theta_bytes =
       static_cast<int64_t>(theta.size()) * static_cast<int64_t>(sizeof(float));
   Rng down_rng = master_.Fork(kDownlinkCodecTag, static_cast<uint64_t>(wave));
-  const Payload payload = downlink_->Encode(kBroadcastStream, theta, &down_rng);
+  Payload payload = downlink_->Encode(kBroadcastStream, theta, &down_rng);
   plan.per_client_bytes =
       payload.WireBytes() + (download_per_client_raw - raw_theta_bytes);
   plan.broadcast = downlink_->Decode(payload);
@@ -58,6 +58,10 @@ DownlinkPlan CommPipeline::PrepareDownlink(int wave,
   if (obs::MetricsEnabled()) {
     Metrics().downlink_broadcast_bytes->Add(payload.WireBytes());
   }
+  // Keep the wire form: the serving frontend broadcasts these exact bytes,
+  // so a remote client decodes precisely what the in-process loop decoded.
+  plan.encoded = std::make_shared<const std::vector<uint8_t>>(
+      std::move(payload.bytes));
   return plan;
 }
 

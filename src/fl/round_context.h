@@ -12,6 +12,7 @@
 #define FEDADMM_FL_ROUND_CONTEXT_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "fl/types.h"
@@ -26,6 +27,11 @@ struct DownlinkPlan {
   std::vector<float> broadcast;
   /// True when `broadcast` holds the decoded (lossy) θ.
   bool use_broadcast = false;
+  /// The encoded broadcast wire bytes when a downlink codec ran; null
+  /// otherwise. Shared so a serving frontend (src/serve) can fan the exact
+  /// in-loop-encoded payload out to every session's MODEL frame without
+  /// copying it per client.
+  std::shared_ptr<const std::vector<uint8_t>> encoded;
   /// Wire bytes each selected client downloads (codec-compressed θ plus any
   /// uncompressed algorithm extras).
   int64_t per_client_bytes = 0;

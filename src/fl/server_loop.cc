@@ -156,7 +156,7 @@ ServerLoop::ServerLoop(FederatedProblem* problem,
                        const SimulationConfig& config,
                        const SystemModel* system_model,
                        UpdateCodec* uplink_codec, UpdateCodec* downlink_codec,
-                       const RoundObserver* observer,
+                       IngestSource* ingest, const RoundObserver* observer,
                        std::vector<float>* theta)
     : problem_(problem),
       algorithm_(algorithm),
@@ -166,6 +166,7 @@ ServerLoop::ServerLoop(FederatedProblem* problem,
       observer_(observer),
       uplink_codec_(uplink_codec),
       downlink_codec_(downlink_codec),
+      ingest_(ingest),
       master_(config.seed),
       selection_rng_(master_.Fork(kSelectionTag)),
       init_rng_(master_.Fork(kInitTag)),
@@ -486,6 +487,29 @@ Result<History> ServerLoop::Run() {
           "or disable checkpointing");
     }
   }
+  if (ingest_ != nullptr) {
+    // Serve mode replaces the in-process client phase with wire-protocol
+    // collection (fl/ingest.h); the preconditions that keep the trajectory
+    // reproducible are checked here, before any round runs.
+    if (config_.mode != ExecutionMode::kSync) {
+      return Status::InvalidArgument(
+          "Simulation: an ingest source requires sync mode (event modes "
+          "schedule the client phase in-process)");
+    }
+    if (!config_.checkpoint_path.empty()) {
+      return Status::InvalidArgument(
+          "Simulation: checkpoint_path does not cover frontend session "
+          "state; detach the ingest source or disable checkpointing");
+    }
+    if (uplink_codec_ != nullptr &&
+        (!uplink_codec_->deterministic() || uplink_codec_->stateful())) {
+      return Status::InvalidArgument(
+          "Simulation: serve mode needs a deterministic, stateless uplink "
+          "codec ('" + uplink_codec_->name() +
+          "' is not): remote encoders cannot share the server's Rng forks "
+          "or residual history");
+    }
+  }
   if (!config_.round_trace_path.empty()) {
     FEDADMM_RETURN_IF_ERROR(round_trace_.Open(
         config_.round_trace_path, config_.round_trace_deterministic_only));
@@ -512,6 +536,10 @@ Result<History> ServerLoop::Run() {
 
 Result<History> ServerLoop::RunSync() {
   InitializeModel();
+  if (ingest_) {
+    FEDADMM_RETURN_IF_ERROR(
+        ingest_->StartServing(problem_->num_clients(), problem_->dim()));
+  }
 
   History history;
   VirtualClock clock;
@@ -559,14 +587,24 @@ Result<History> ServerLoop::RunSync() {
     ctx.downlink = pipeline_.PrepareDownlink(
         round, theta_, algorithm_->DownloadBytesPerClient());
 
-    executor_.RunWave(round, ctx.selected, ctx.downlink.ThetaForClients(theta_),
-                      &ctx.updates);
+    if (ingest_) {
+      // Serve mode: open the round to the frontend's sessions. Clients
+      // pull the broadcast and push updates while the loop prefetches the
+      // next cohort below; collection joins after the prefetch so the
+      // selection stream keeps the exact Select(0), Select(1), ... order.
+      FEDADMM_RETURN_IF_ERROR(
+          ingest_->BeginRound(round, ctx.selected, ctx.downlink, theta_));
+    } else {
+      executor_.RunWave(round, ctx.selected,
+                        ctx.downlink.ThetaForClients(theta_), &ctx.updates);
 
-    // Predict each upload's wire size before the straggler judgment: the
-    // virtual clock bills bytes, and WireBytes() gives the exact size
-    // without materializing payloads. Actual encoding happens after the
-    // judgment so stateful codecs only see admitted uploads.
-    pipeline_.PredictUplinkBytes(&ctx.updates);
+      // Predict each upload's wire size before the straggler judgment: the
+      // virtual clock bills bytes, and WireBytes() gives the exact size
+      // without materializing payloads. Actual encoding happens after the
+      // judgment so stateful codecs only see admitted uploads. (In serve
+      // mode the frontend stamps the actual frame payload sizes instead.)
+      pipeline_.PredictUplinkBytes(&ctx.updates);
+    }
     dispatch_scope.Stop();
 
     // Draw the next cohort now and hint the store: an out-of-core backend
@@ -580,6 +618,13 @@ Result<History> ServerLoop::RunSync() {
       if (ClientStateStore* store = algorithm_->mutable_state_store()) {
         store->PrefetchClients(selected, executor_.pool());
       }
+    }
+
+    if (ingest_) {
+      // Join the wave: one message per cohort member, in selection order,
+      // decoded exactly once on the frontend's shard workers. The straggler
+      // judgment below stays the single source of truth on fates.
+      FEDADMM_ASSIGN_OR_RETURN(ctx.updates, ingest_->CollectWave(round));
     }
 
     obs::TraceScope aggregate_scope("aggregate", "engine",
@@ -632,8 +677,10 @@ Result<History> ServerLoop::RunSync() {
 
     // Uplink: encode what the server actually receives — dropped uploads
     // must not feed error-feedback residuals, and a partially-admitted
-    // client encodes its scaled (deadline) delta.
-    pipeline_.EncodeUplinkAll(round, &ctx.updates);
+    // client encodes its scaled (deadline) delta. Serve-mode payloads were
+    // already encoded client-side and decoded once on the shard workers;
+    // re-encoding here would apply the lossy codec twice.
+    if (!ingest_) pipeline_.EncodeUplinkAll(round, &ctx.updates);
 
     // An all-dropped round wastes its deadline but leaves θ untouched.
     if (!ctx.updates.empty()) {

@@ -66,8 +66,8 @@ class ServerLoop {
   ServerLoop(FederatedProblem* problem, FederatedAlgorithm* algorithm,
              ClientSelector* selector, const SimulationConfig& config,
              const SystemModel* system_model, UpdateCodec* uplink_codec,
-             UpdateCodec* downlink_codec, const RoundObserver* observer,
-             std::vector<float>* theta);
+             UpdateCodec* downlink_codec, IngestSource* ingest,
+             const RoundObserver* observer, std::vector<float>* theta);
 
   /// Detaches the reduction pool lent to the algorithm: the pool dies with
   /// this loop, but the algorithm object outlives it and may serve direct
@@ -160,6 +160,8 @@ class ServerLoop {
   /// residuals) is not serialized, so checkpointing rejects codec runs.
   UpdateCodec* uplink_codec_;
   UpdateCodec* downlink_codec_;
+  /// Serve-mode wave source (fl/ingest.h); null for in-process execution.
+  IngestSource* ingest_;
 
   Rng master_;
   Rng selection_rng_;

@@ -41,7 +41,8 @@ Simulation::Simulation(FederatedProblem* problem,
 
 Result<History> Simulation::Run() {
   ServerLoop loop(problem_, algorithm_, selector_, config_, system_model_,
-                  uplink_codec_, downlink_codec_, &observer_, &theta_);
+                  uplink_codec_, downlink_codec_, ingest_, &observer_,
+                  &theta_);
   return loop.Run();
 }
 

@@ -29,6 +29,7 @@
 
 #include "comm/codec.h"
 #include "fl/algorithm.h"
+#include "fl/ingest.h"
 #include "fl/problem.h"
 #include "fl/selection.h"
 #include "fl/staleness.h"
@@ -172,6 +173,13 @@ class Simulation {
   /// stay uncompressed).
   void set_downlink_codec(UpdateCodec* codec) { downlink_codec_ = codec; }
 
+  /// Attaches a serving frontend (borrowed, may be nullptr): client waves
+  /// are collected from the ingest source — wire-protocol sessions — in
+  /// place of the in-process executor (fl/ingest.h). Sync mode only;
+  /// incompatible with checkpointing and with stochastic or stateful
+  /// uplink codecs (the run fails fast otherwise).
+  void set_ingest(IngestSource* ingest) { ingest_ = ingest; }
+
   /// Final global model (valid after Run).
   const std::vector<float>& theta() const { return theta_; }
 
@@ -184,6 +192,7 @@ class Simulation {
   const SystemModel* system_model_ = nullptr;
   UpdateCodec* uplink_codec_ = nullptr;
   UpdateCodec* downlink_codec_ = nullptr;
+  IngestSource* ingest_ = nullptr;
   std::vector<float> theta_;
 };
 

@@ -1,0 +1,120 @@
+#include "serve/loopback.h"
+
+#include <utility>
+
+namespace fedadmm::serve {
+
+/// Server-side endpoint: SendFrame appends to the shared inbox the client
+/// channel drains.
+class LoopbackTransport::LoopbackConnection : public Connection {
+ public:
+  Status SendFrame(
+      std::shared_ptr<const std::vector<uint8_t>> frame) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) return Status::IoError("loopback: connection closed");
+    inbox_.push_back(std::move(frame));
+    return Status::OK();
+  }
+
+  bool PopFrame(std::vector<uint8_t>* frame) {
+    std::shared_ptr<const std::vector<uint8_t>> next;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (inbox_.empty()) return false;
+      next = std::move(inbox_.front());
+      inbox_.pop_front();
+    }
+    *frame = *next;
+    return true;
+  }
+
+  /// Marks the connection closed; returns true on the closing transition
+  /// (so OnDisconnect fires exactly once).
+  bool Close() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return !std::exchange(closed_, true);
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  bool closed_ = false;
+  std::deque<std::shared_ptr<const std::vector<uint8_t>>> inbox_;
+};
+
+/// Client-side endpoint bound to one connection.
+class LoopbackTransport::LoopbackChannel : public ClientChannel {
+ public:
+  LoopbackChannel(std::shared_ptr<LoopbackConnection> conn, FrameSink* sink)
+      : conn_(std::move(conn)), sink_(sink) {}
+
+  ~LoopbackChannel() override { Close(); }
+
+  Status Send(const std::vector<uint8_t>& frame) override {
+    if (conn_->closed()) return Status::IoError("loopback: channel closed");
+    // Synchronous delivery: the frontend reacts on this thread, so replies
+    // are already in the inbox when Send returns.
+    sink_->OnBytes(conn_.get(), frame.data(), frame.size());
+    return Status::OK();
+  }
+
+  Result<bool> TryReceiveFrame(std::vector<uint8_t>* frame) override {
+    if (conn_->PopFrame(frame)) return true;
+    if (conn_->closed()) return Status::IoError("loopback: channel closed");
+    return false;
+  }
+
+  void Close() override {
+    if (conn_->Close()) sink_->OnDisconnect(conn_.get());
+  }
+
+ private:
+  std::shared_ptr<LoopbackConnection> conn_;
+  FrameSink* sink_;
+};
+
+Status LoopbackTransport::Start(FrameSink* sink) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (started_) return Status::FailedPrecondition("loopback: already started");
+  if (sink == nullptr) {
+    return Status::InvalidArgument("loopback: null sink");
+  }
+  sink_ = sink;
+  started_ = true;
+  return Status::OK();
+}
+
+Result<std::unique_ptr<ClientChannel>> LoopbackTransport::Connect() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!started_) return Status::FailedPrecondition("loopback: not started");
+  auto conn = std::make_shared<LoopbackConnection>();
+  connections_.push_back(conn);
+  return std::unique_ptr<ClientChannel>(
+      new LoopbackChannel(std::move(conn), sink_));
+}
+
+void LoopbackTransport::Stop() {
+  std::vector<std::shared_ptr<LoopbackConnection>> connections;
+  FrameSink* sink = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!started_) return;
+    started_ = false;
+    sink = sink_;
+    connections.swap(connections_);
+  }
+  for (auto& conn : connections) {
+    if (conn->Close()) sink->OnDisconnect(conn.get());
+  }
+}
+
+const std::string& LoopbackTransport::name() const {
+  static const std::string* const kName = new std::string("loopback");
+  return *kName;
+}
+
+}  // namespace fedadmm::serve

@@ -1,0 +1,51 @@
+/// \file loopback.h
+/// \brief In-memory transport: deterministic substrate for tests and the
+/// load generator.
+///
+/// Client→server bytes are delivered synchronously: `ClientChannel::Send`
+/// invokes the sink's `OnBytes` on the calling thread before returning, so
+/// a driving thread observes every synchronous server reaction (WELCOME,
+/// MODEL, THROTTLED ack, ERROR) on its very next `TryReceiveFrame` — no
+/// sleeps, no races, and a double run replays the identical interleaving
+/// per session. Server→client frames land in a per-connection inbox
+/// (mutex-guarded deque of shared frame buffers, so a broadcast MODEL
+/// frame is never copied per session).
+
+#ifndef FEDADMM_SERVE_LOOPBACK_H_
+#define FEDADMM_SERVE_LOOPBACK_H_
+
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/transport.h"
+
+namespace fedadmm::serve {
+
+/// \brief In-memory Transport (see file comment).
+class LoopbackTransport : public Transport {
+ public:
+  LoopbackTransport() = default;
+  ~LoopbackTransport() override { Stop(); }
+
+  Status Start(FrameSink* sink) override;
+  Result<std::unique_ptr<ClientChannel>> Connect() override;
+  void Stop() override;
+  const std::string& name() const override;
+
+ private:
+  class LoopbackConnection;
+  class LoopbackChannel;
+
+  std::mutex mutex_;
+  FrameSink* sink_ = nullptr;
+  bool started_ = false;
+  /// Owns every accepted connection until Stop (transport.h contract).
+  std::vector<std::shared_ptr<LoopbackConnection>> connections_;
+};
+
+}  // namespace fedadmm::serve
+
+#endif  // FEDADMM_SERVE_LOOPBACK_H_

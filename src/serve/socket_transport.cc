@@ -1,0 +1,299 @@
+#include "serve/socket_transport.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <utility>
+
+#include "serve/frame.h"
+
+namespace fedadmm::serve {
+namespace {
+
+Status Errno(const char* what) {
+  return Status::IoError(std::string("socket: ") + what + ": " +
+                         strerror(errno));
+}
+
+/// Writes all of `data`, polling POLLOUT on EAGAIN. The fd is nonblocking
+/// so a slow peer costs a poll, not a wedged thread.
+Status WriteAll(int fd, const uint8_t* data, size_t len) {
+  size_t off = 0;
+  while (off < len) {
+    const ssize_t n = send(fd, data + off, len - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      struct pollfd pfd;
+      pfd.fd = fd;
+      pfd.events = POLLOUT;
+      pfd.revents = 0;
+      if (poll(&pfd, 1, /*timeout_ms=*/5000) <= 0) {
+        return Status::IoError("socket: write stalled (peer not reading)");
+      }
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Errno("send");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+class SocketTransport::SocketConnection : public Connection {
+ public:
+  explicit SocketConnection(int fd) : fd_(fd) {}
+
+  Status SendFrame(
+      std::shared_ptr<const std::vector<uint8_t>> frame) override {
+    std::lock_guard<std::mutex> lock(write_mutex_);
+    if (fd_ < 0) return Status::IoError("socket: connection closed");
+    return WriteAll(fd_, frame->data(), frame->size());
+  }
+
+  int fd() const { return fd_; }
+
+  /// Closes the socket; returns true on the closing transition.
+  bool Close() {
+    std::lock_guard<std::mutex> lock(write_mutex_);
+    if (fd_ < 0) return false;
+    close(fd_);
+    fd_ = -1;
+    return true;
+  }
+
+ private:
+  std::mutex write_mutex_;
+  int fd_;
+};
+
+class SocketTransport::SocketChannel : public ClientChannel {
+ public:
+  explicit SocketChannel(int fd) : fd_(fd) {}
+  ~SocketChannel() override { Close(); }
+
+  Status Send(const std::vector<uint8_t>& frame) override {
+    if (fd_ < 0) return Status::IoError("socket: channel closed");
+    return WriteAll(fd_, frame.data(), frame.size());
+  }
+
+  Result<bool> TryReceiveFrame(std::vector<uint8_t>* frame) override {
+    // Serve buffered frames before touching the socket.
+    FEDADMM_ASSIGN_OR_RETURN(bool ready, assembler_.Next(frame));
+    if (ready) return true;
+    if (fd_ < 0) return Status::IoError("socket: channel closed");
+    uint8_t buf[16384];
+    for (;;) {
+      const ssize_t n = recv(fd_, buf, sizeof(buf), 0);
+      if (n > 0) {
+        FEDADMM_RETURN_IF_ERROR(assembler_.Push(buf, static_cast<size_t>(n)));
+        if (static_cast<size_t>(n) < sizeof(buf)) break;
+        continue;
+      }
+      if (n == 0) {
+        eof_ = true;
+        break;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      return Errno("recv");
+    }
+    FEDADMM_ASSIGN_OR_RETURN(ready, assembler_.Next(frame));
+    if (ready) return true;
+    if (eof_) return Status::IoError("socket: server closed the connection");
+    return false;
+  }
+
+  void Close() override {
+    if (fd_ >= 0) {
+      close(fd_);
+      fd_ = -1;
+    }
+  }
+
+ private:
+  int fd_;
+  bool eof_ = false;
+  FrameAssembler assembler_;
+};
+
+SocketTransport::SocketTransport() = default;
+
+SocketTransport::~SocketTransport() { Stop(); }
+
+Status SocketTransport::Start(FrameSink* sink) {
+  if (started_) return Status::FailedPrecondition("socket: already started");
+  if (sink == nullptr) return Status::InvalidArgument("socket: null sink");
+  sink_ = sink;
+
+  listen_fd_ = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return Errno("socket");
+  int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  struct sockaddr_in addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // ephemeral
+  if (bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+           sizeof(addr)) < 0) {
+    return Errno("bind");
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (getsockname(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+                  &addr_len) < 0) {
+    return Errno("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+  if (listen(listen_fd_, 1024) < 0) return Errno("listen");
+
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) return Errno("epoll_create1");
+  struct epoll_event ev;
+  memset(&ev, 0, sizeof(ev));
+  ev.events = EPOLLIN;
+  ev.data.ptr = nullptr;  // null ptr marks the listen socket
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) < 0) {
+    return Errno("epoll_ctl(listen)");
+  }
+
+  stop_.store(false, std::memory_order_release);
+  reader_ = std::thread([this] { ReaderLoop(); });
+  started_ = true;
+  return Status::OK();
+}
+
+void SocketTransport::AcceptPending() {
+  for (;;) {
+    const int fd = accept4(listen_fd_, nullptr, nullptr,
+                           SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN: drained
+    int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_unique<SocketConnection>(fd);
+    struct epoll_event ev;
+    memset(&ev, 0, sizeof(ev));
+    ev.events = EPOLLIN;
+    ev.data.ptr = conn.get();
+    if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      conn->Close();
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    by_fd_[fd] = conn.get();
+    connections_.push_back(std::move(conn));
+  }
+}
+
+void SocketTransport::Disconnect(SocketConnection* conn) {
+  const int fd = conn->fd();
+  if (fd >= 0) {
+    epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+    std::lock_guard<std::mutex> lock(mutex_);
+    by_fd_.erase(fd);
+  }
+  if (conn->Close()) sink_->OnDisconnect(conn);
+}
+
+void SocketTransport::DrainReadable(SocketConnection* conn) {
+  uint8_t buf[65536];
+  for (;;) {
+    const int fd = conn->fd();
+    if (fd < 0) return;
+    const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      sink_->OnBytes(conn, buf, static_cast<size_t>(n));
+      if (static_cast<size_t>(n) < sizeof(buf)) return;
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    if (n < 0 && errno == EINTR) continue;
+    Disconnect(conn);  // EOF or hard error
+    return;
+  }
+}
+
+void SocketTransport::ReaderLoop() {
+  struct epoll_event events[128];
+  while (!stop_.load(std::memory_order_acquire)) {
+    const int n = epoll_wait(epoll_fd_, events, 128, /*timeout_ms=*/50);
+    for (int i = 0; i < n; ++i) {
+      if (events[i].data.ptr == nullptr) {
+        AcceptPending();
+      } else {
+        DrainReadable(static_cast<SocketConnection*>(events[i].data.ptr));
+      }
+    }
+  }
+}
+
+void SocketTransport::Stop() {
+  if (!started_) return;
+  stop_.store(true, std::memory_order_release);
+  if (reader_.joinable()) reader_.join();
+  std::vector<std::unique_ptr<SocketConnection>> connections;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    by_fd_.clear();
+    connections.swap(connections_);
+  }
+  for (auto& conn : connections) {
+    if (conn->Close()) sink_->OnDisconnect(conn.get());
+  }
+  if (listen_fd_ >= 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (epoll_fd_ >= 0) {
+    close(epoll_fd_);
+    epoll_fd_ = -1;
+  }
+  started_ = false;
+}
+
+Result<std::unique_ptr<ClientChannel>> SocketTransport::Connect() {
+  if (!started_) return Status::FailedPrecondition("socket: not started");
+  const int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Errno("socket");
+  struct sockaddr_in addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port_));
+  int rc;
+  do {
+    rc = connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    close(fd);
+    return Errno("connect");
+  }
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  // Reads are nonblocking (TryReceiveFrame polls); writes block via
+  // WriteAll's poll loop either way.
+  const int flags = fcntl(fd, F_GETFL, 0);
+  fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  return std::unique_ptr<ClientChannel>(new SocketChannel(fd));
+}
+
+const std::string& SocketTransport::name() const {
+  static const std::string* const kName = new std::string("socket");
+  return *kName;
+}
+
+}  // namespace fedadmm::serve

@@ -1,0 +1,76 @@
+/// \file socket_transport.h
+/// \brief Real TCP transport (127.0.0.1, ephemeral port) for the serving
+/// frontend.
+///
+/// One epoll reader thread accepts connections and drains readable
+/// sockets, feeding raw fragments to the sink — so per-connection OnBytes
+/// calls are naturally serialized. `Connection::SendFrame` writes from the
+/// calling thread under a per-connection mutex, polling on EAGAIN: frame
+/// writes from shard workers never interleave bytes. Equivalence tests
+/// replay a whole training trace over this transport and demand bitwise
+/// the same θ as the in-process engine — the transport must be a pure
+/// byte pipe.
+///
+/// Linux-only (epoll, accept4); the build gates it accordingly.
+
+#ifndef FEDADMM_SERVE_SOCKET_TRANSPORT_H_
+#define FEDADMM_SERVE_SOCKET_TRANSPORT_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/transport.h"
+
+namespace fedadmm::serve {
+
+/// \brief TCP Transport (see file comment).
+class SocketTransport : public Transport {
+ public:
+  // Out of line: members reference types completed in the .cc.
+  SocketTransport();
+  ~SocketTransport() override;
+
+  Status Start(FrameSink* sink) override;
+  Result<std::unique_ptr<ClientChannel>> Connect() override;
+  void Stop() override;
+  const std::string& name() const override;
+
+  /// The ephemeral port the server bound (valid after Start).
+  int port() const { return port_; }
+
+ private:
+  class SocketConnection;
+  class SocketChannel;
+
+  /// Epoll loop body (reader thread).
+  void ReaderLoop();
+  /// Accepts every pending connection on the listen socket.
+  void AcceptPending();
+  /// Drains one readable connection; tears it down on EOF/error.
+  void DrainReadable(SocketConnection* conn);
+  /// Closes `conn` (from the reader thread) and notifies the sink once.
+  void Disconnect(SocketConnection* conn);
+
+  FrameSink* sink_ = nullptr;
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stop_{false};
+  bool started_ = false;
+  std::thread reader_;
+
+  std::mutex mutex_;
+  /// Live fd → connection (reader thread only after Start).
+  std::unordered_map<int, SocketConnection*> by_fd_;
+  /// Owns every accepted connection until Stop (transport.h contract).
+  std::vector<std::unique_ptr<SocketConnection>> connections_;
+};
+
+}  // namespace fedadmm::serve
+
+#endif  // FEDADMM_SERVE_SOCKET_TRANSPORT_H_

@@ -1,0 +1,118 @@
+/// \file transport.h
+/// \brief Byte-transport abstraction between client sessions and the
+/// serving frontend.
+///
+/// Two implementations ship:
+///   * `LoopbackTransport` (loopback.h) — in-memory, synchronous delivery
+///     on the caller's thread; the deterministic substrate for tests and
+///     the `bench_ingest_load` load generator.
+///   * `SocketTransport` (socket_transport.h) — real TCP over 127.0.0.1
+///     with an epoll reader thread; proves the frontend end-to-end over an
+///     actual network stack.
+///
+/// Server side: the transport accepts connections and feeds their raw
+/// bytes to a `FrameSink` (implemented by `serve::Frontend`); the sink
+/// replies through the `Connection` handed to it. Client side: `Connect`
+/// returns a `ClientChannel` that sends raw bytes and reassembles
+/// server→client frames.
+///
+/// Threading contract: a given connection's `OnBytes` calls are serialized
+/// (loopback: the sending client thread; socket: the single epoll thread),
+/// but different connections may deliver concurrently. `SendFrame` may be
+/// called from any thread — implementations serialize writes internally.
+/// Frames are passed as `shared_ptr<const vector<uint8_t>>` so one
+/// broadcast buffer (the round's MODEL frame) fans out to every session
+/// without a per-session copy.
+
+#ifndef FEDADMM_SERVE_TRANSPORT_H_
+#define FEDADMM_SERVE_TRANSPORT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace fedadmm::serve {
+
+/// \brief Server-side handle to one accepted connection.
+///
+/// The transport owns every `Connection` it accepts and keeps it alive —
+/// even after disconnect — until `Stop()`, so a shard worker may safely
+/// hold the pointer across its queue; sends after disconnect fail with
+/// IoError instead of touching freed memory.
+class Connection {
+ public:
+  virtual ~Connection() = default;
+
+  /// Queues one complete frame for delivery to the client. Thread-safe.
+  virtual Status SendFrame(
+      std::shared_ptr<const std::vector<uint8_t>> frame) = 0;
+
+  /// Opaque per-connection slot for the sink's session state. The sink is
+  /// the only writer (from its serialized OnBytes stream).
+  void set_context(void* context) { context_ = context; }
+  void* context() const { return context_; }
+
+ private:
+  void* context_ = nullptr;
+};
+
+/// \brief Receives server-side transport events; implemented by Frontend.
+class FrameSink {
+ public:
+  virtual ~FrameSink() = default;
+
+  /// `len` raw bytes arrived on `conn` (arbitrary fragmentation — the sink
+  /// reassembles frames). Runs on a transport thread; calls for one
+  /// connection are serialized.
+  virtual void OnBytes(Connection* conn, const uint8_t* data,
+                       size_t len) = 0;
+
+  /// The peer closed (or the transport dropped) `conn`. No further
+  /// OnBytes for it; the sink must stop using the connection for sends.
+  virtual void OnDisconnect(Connection* conn) = 0;
+};
+
+/// \brief Client-side handle to one connection.
+class ClientChannel {
+ public:
+  virtual ~ClientChannel() = default;
+
+  /// Sends one complete frame to the server. Calls on one channel must be
+  /// serialized by the caller (one session = one driving thread at a time).
+  virtual Status Send(const std::vector<uint8_t>& frame) = 0;
+
+  /// Non-blocking: moves the next complete server→client frame into
+  /// `*frame` and returns true, or returns false when none is pending.
+  /// Errors on a poisoned stream or closed connection.
+  virtual Result<bool> TryReceiveFrame(std::vector<uint8_t>* frame) = 0;
+
+  /// Closes the client end (idempotent).
+  virtual void Close() = 0;
+};
+
+/// \brief A listening transport plus its client-side connector.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Starts accepting; all bytes flow to `sink` (borrowed, must outlive
+  /// the transport or `Stop()`).
+  virtual Status Start(FrameSink* sink) = 0;
+
+  /// Opens a client connection to the started server.
+  virtual Result<std::unique_ptr<ClientChannel>> Connect() = 0;
+
+  /// Stops accepting, closes every connection (emitting OnDisconnect for
+  /// live ones) and joins transport threads. Idempotent.
+  virtual void Stop() = 0;
+
+  /// "loopback" or "socket" — for bench/test labels.
+  virtual const std::string& name() const = 0;
+};
+
+}  // namespace fedadmm::serve
+
+#endif  // FEDADMM_SERVE_TRANSPORT_H_

@@ -1,0 +1,175 @@
+// The bounded lock-free ingest ring: capacity rounding, FIFO order,
+// full-ring backpressure (TryPush returns false, never blocks), exactly-once
+// delivery under concurrent producers, and the PopWait stop/drain contract.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "serve/ingest_queue.h"
+
+namespace fedadmm::serve {
+namespace {
+
+TEST(IngestQueueTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(IngestQueue<int>(0).capacity(), 2u);
+  EXPECT_EQ(IngestQueue<int>(1).capacity(), 2u);
+  EXPECT_EQ(IngestQueue<int>(2).capacity(), 2u);
+  EXPECT_EQ(IngestQueue<int>(3).capacity(), 4u);
+  EXPECT_EQ(IngestQueue<int>(512).capacity(), 512u);
+  EXPECT_EQ(IngestQueue<int>(513).capacity(), 1024u);
+}
+
+TEST(IngestQueueTest, FifoSingleThread) {
+  IngestQueue<int> queue(8);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(queue.TryPush(int{i}));
+  int out = -1;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(queue.TryPop(&out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(queue.TryPop(&out));
+}
+
+TEST(IngestQueueTest, FullRingRejectsWithoutBlocking) {
+  IngestQueue<int> queue(4);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(queue.TryPush(int{i}));
+  // The ring is full: the push must return false immediately — this is the
+  // backpressure signal the frontend turns into a THROTTLED ack.
+  EXPECT_FALSE(queue.TryPush(99));
+  int out = -1;
+  ASSERT_TRUE(queue.TryPop(&out));
+  EXPECT_EQ(out, 0);
+  // One slot freed: pushes work again, order preserved.
+  EXPECT_TRUE(queue.TryPush(4));
+  for (int want = 1; want <= 4; ++want) {
+    ASSERT_TRUE(queue.TryPop(&out));
+    EXPECT_EQ(out, want);
+  }
+}
+
+TEST(IngestQueueTest, WrapAroundManyTimes) {
+  IngestQueue<int> queue(4);
+  int out = -1;
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(queue.TryPush(int{i}));
+    ASSERT_TRUE(queue.TryPop(&out));
+    ASSERT_EQ(out, i);
+  }
+}
+
+TEST(IngestQueueTest, MoveOnlyPayloads) {
+  IngestQueue<std::unique_ptr<int>> queue(2);
+  ASSERT_TRUE(queue.TryPush(std::make_unique<int>(42)));
+  std::unique_ptr<int> out;
+  ASSERT_TRUE(queue.TryPop(&out));
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(*out, 42);
+}
+
+TEST(IngestQueueTest, ConcurrentProducersDeliverExactlyOnce) {
+  // The production shape: transport threads produce, one shard worker
+  // consumes via PopWait. Every pushed item must arrive exactly once.
+  constexpr int kProducers = 8;
+  constexpr int kPerProducer = 20000;
+  IngestQueue<int64_t> queue(256);
+  std::atomic<bool> stop{false};
+
+  std::vector<int> seen(kProducers * kPerProducer, 0);
+  std::thread consumer([&] {
+    int64_t item = -1;
+    while (queue.PopWait(&item, stop)) {
+      seen[static_cast<size_t>(item)]++;
+    }
+  });
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        int64_t item = static_cast<int64_t>(p) * kPerProducer + i;
+        // Spin on full — the test wants throughput, not throttling.
+        while (!queue.TryPush(std::move(item))) std::this_thread::yield();
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  stop.store(true);
+  consumer.join();
+
+  for (size_t i = 0; i < seen.size(); ++i) {
+    ASSERT_EQ(seen[i], 1) << "item " << i;
+  }
+}
+
+TEST(IngestQueueTest, PerProducerOrderIsPreserved) {
+  // MPSC FIFO guarantee: items from one producer arrive in push order
+  // (inter-producer interleaving is unspecified).
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 5000;
+  IngestQueue<int64_t> queue(64);
+  std::atomic<bool> stop{false};
+
+  std::vector<int64_t> last_seen(kProducers, -1);
+  std::thread consumer([&] {
+    int64_t item = -1;
+    while (queue.PopWait(&item, stop)) {
+      const int producer = static_cast<int>(item >> 32);
+      const int64_t seq = item & 0xFFFFFFFF;
+      ASSERT_GT(seq, last_seen[static_cast<size_t>(producer)]);
+      last_seen[static_cast<size_t>(producer)] = seq;
+    }
+  });
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        int64_t item = (static_cast<int64_t>(p) << 32) | i;
+        while (!queue.TryPush(std::move(item))) std::this_thread::yield();
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  stop.store(true);
+  consumer.join();
+  for (int p = 0; p < kProducers; ++p) {
+    EXPECT_EQ(last_seen[static_cast<size_t>(p)], kPerProducer - 1);
+  }
+}
+
+TEST(IngestQueueTest, PopWaitDrainsAfterStop) {
+  IngestQueue<int> queue(8);
+  std::atomic<bool> stop{false};
+  ASSERT_TRUE(queue.TryPush(1));
+  ASSERT_TRUE(queue.TryPush(2));
+  stop.store(true);
+  int out = -1;
+  // Items pushed before stop still drain.
+  EXPECT_TRUE(queue.PopWait(&out, stop));
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(queue.PopWait(&out, stop));
+  EXPECT_EQ(out, 2);
+  // Empty + stopped: returns false instead of sleeping forever.
+  EXPECT_FALSE(queue.PopWait(&out, stop));
+}
+
+TEST(IngestQueueTest, PopWaitWakesOnPush) {
+  IngestQueue<int> queue(8);
+  std::atomic<bool> stop{false};
+  int out = -1;
+  std::thread consumer([&] { EXPECT_TRUE(queue.PopWait(&out, stop)); });
+  // Give the consumer a moment to reach the waiting state, then push.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_TRUE(queue.TryPush(7));
+  consumer.join();
+  EXPECT_EQ(out, 7);
+}
+
+}  // namespace
+}  // namespace fedadmm::serve
